@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the substrates: Datalog join
+// evaluation, SAT solving, facts conversion, flattening, and MDP search.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/engine.h"
+#include "migrate/facts.h"
+#include "solver/fd.h"
+#include "synth/mdp.h"
+#include "synth/synthesizer.h"
+#include "workload/benchmarks.h"
+#include "workload/families.h"
+
+namespace dynamite {
+namespace {
+
+FactDatabase ChainEdges(int n) {
+  FactDatabase db;
+  db.DeclareRelation("edge", {"s", "t"}).ValueOrDie();
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", Tuple({Value::Int(i), Value::Int((i + 1) % n)}));
+    db.AddFact("edge", Tuple({Value::Int(i), Value::Int((i * 7 + 3) % n)}));
+  }
+  return db;
+}
+
+void BM_DatalogTwoWayJoin(benchmark::State& state) {
+  FactDatabase db = ChainEdges(static_cast<int>(state.range(0)));
+  Program p = Program::Parse("j(x, z) :- edge(x, y), edge(y, z).").ValueOrDie();
+  DatalogEngine engine;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_DatalogTwoWayJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DatalogTransitiveClosure(benchmark::State& state) {
+  FactDatabase db = ChainEdges(static_cast<int>(state.range(0)));
+  Program p = Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").ValueOrDie();
+  DatalogEngine engine;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DatalogTransitiveClosure)->Arg(50)->Arg(200);
+
+void BM_SatPigeonHole(benchmark::State& state) {
+  // php(n+1, n): UNSAT, exercises clause learning.
+  int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::SatSolver solver;
+    std::vector<std::vector<sat::Var>> p(static_cast<size_t>(holes + 1));
+    for (auto& row : p) {
+      for (int h = 0; h < holes; ++h) row.push_back(solver.NewVar());
+    }
+    for (auto& row : p) {
+      std::vector<sat::Lit> clause;
+      for (sat::Var v : row) clause.push_back(sat::MkLit(v));
+      solver.AddClause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (size_t i = 0; i < p.size(); ++i) {
+        for (size_t j = i + 1; j < p.size(); ++j) {
+          solver.AddClause({sat::MkLit(p[i][static_cast<size_t>(h)], true),
+                            sat::MkLit(p[j][static_cast<size_t>(h)], true)});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_SatPigeonHole)->Arg(5)->Arg(7);
+
+void BM_FactsRoundTrip(benchmark::State& state) {
+  const auto& family = workload::GetFamily("Yelp");
+  RecordForest forest = family.generate(1, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    uint64_t next_id = 1;
+    auto db = ToFacts(forest, family.schema, &next_id);
+    auto back = BuildForest(*db, family.schema);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(forest.TotalRecords()));
+}
+BENCHMARK(BM_FactsRoundTrip)->Arg(100)->Arg(1000);
+
+void BM_FlattenView(benchmark::State& state) {
+  const auto& family = workload::GetFamily("Yelp");
+  RecordForest forest = family.generate(1, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto view = FlattenForestView(forest, family.schema, "Business");
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_FlattenView)->Arg(100)->Arg(1000);
+
+void BM_MdpSearch(benchmark::State& state) {
+  // Two relations differing in a 2-attribute projection.
+  int n = static_cast<int>(state.range(0));
+  Relation actual("r", {"a", "b", "c", "d"});
+  Relation expected("r", {"a", "b", "c", "d"});
+  for (int i = 0; i < n; ++i) {
+    actual.Insert(Tuple({Value::Int(i), Value::Int(i % 5), Value::Int(i % 7),
+                         Value::Int(i % 3)}));
+    expected.Insert(Tuple({Value::Int(i), Value::Int(i % 5), Value::Int(i % 7),
+                           Value::Int((i + 1) % 3)}));
+  }
+  for (auto _ : state) {
+    auto mdps = MDPSet(actual, expected);
+    benchmark::DoNotOptimize(mdps);
+  }
+}
+BENCHMARK(BM_MdpSearch)->Arg(16)->Arg(256);
+
+void BM_EndToEndSynthesisMotivating(benchmark::State& state) {
+  const auto* bench = workload::FindBenchmark("Tencent-1");
+  auto example = workload::MakeExample(*bench, 7, 3).ValueOrDie();
+  for (auto _ : state) {
+    Synthesizer synth(bench->source, bench->target);
+    auto result = synth.Synthesize(example);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EndToEndSynthesisMotivating)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynamite
+
+BENCHMARK_MAIN();

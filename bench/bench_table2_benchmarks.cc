@@ -1,0 +1,45 @@
+// Regenerates Table 2: benchmark statistics — source/target schema type,
+// number of record types, and number of attributes for all 28 benchmarks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/benchmarks.h"
+
+int main() {
+  using namespace dynamite;
+  using namespace dynamite::workload;
+
+  std::printf("Table 2: Statistics of benchmarks\n");
+  std::printf("(R = relational, D = document, G = graph; counts are record types and\n");
+  std::printf("attributes of our reproduced schemas — shape, not the paper's absolute "
+              "numbers)\n\n");
+
+  bench::TablePrinter table({{"Benchmark", 12},
+                             {"SrcType", 9},
+                             {"SrcRecs", 9},
+                             {"SrcAttrs", 10},
+                             {"TgtType", 9},
+                             {"TgtRecs", 9},
+                             {"TgtAttrs", 10}});
+  table.PrintHeader();
+  double src_recs = 0, src_attrs = 0, tgt_recs = 0, tgt_attrs = 0;
+  for (const Benchmark& b : AllBenchmarks()) {
+    size_t sr = b.source.RecordNames().size();
+    size_t sa = b.source.PrimAttrbs().size();
+    size_t tr = b.target.RecordNames().size();
+    size_t ta = b.target.PrimAttrbs().size();
+    src_recs += static_cast<double>(sr);
+    src_attrs += static_cast<double>(sa);
+    tgt_recs += static_cast<double>(tr);
+    tgt_attrs += static_cast<double>(ta);
+    table.PrintRow({b.name, std::string(1, b.source_kind), std::to_string(sr),
+                    std::to_string(sa), std::string(1, b.target_kind), std::to_string(tr),
+                    std::to_string(ta)});
+  }
+  double n = static_cast<double>(AllBenchmarks().size());
+  table.PrintRow({"Average", "-", bench::Fmt("%.1f", src_recs / n),
+                  bench::Fmt("%.1f", src_attrs / n), "-", bench::Fmt("%.1f", tgt_recs / n),
+                  bench::Fmt("%.1f", tgt_attrs / n)});
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the table/figure reproduction harnesses.
+
+#ifndef DYNAMITE_BENCH_BENCH_UTIL_H_
+#define DYNAMITE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dynamite {
+namespace bench {
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::pair<std::string, int>> columns)
+      : columns_(std::move(columns)) {}
+
+  void PrintHeader() const {
+    for (const auto& [name, width] : columns_) {
+      std::printf("%-*s", width, name.c_str());
+    }
+    std::printf("\n");
+    int total = 0;
+    for (const auto& [name, width] : columns_) total += width;
+    for (int i = 0; i < total; ++i) std::printf("-");
+    std::printf("\n");
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) const {
+    for (size_t i = 0; i < cells.size() && i < columns_.size(); ++i) {
+      std::printf("%-*s", columns_[i].second, cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::pair<std::string, int>> columns_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtSize(size_t v) { return std::to_string(v); }
+
+/// Scientific notation like the paper's search-space column ("4.8e120").
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1e", v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace dynamite
+
+#endif  // DYNAMITE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,56 @@
+// Mitra-like baseline (§6.5, [48] Yaghmazadeh et al., PVLDB'18) —
+// reimplemented from the paper's published architecture for the Figure 9(b)
+// comparison. Mitra migrates hierarchical documents to relational tables in
+// two phases: (1) per-column extraction — enumerate root-to-attribute paths
+// whose values cover the output column; (2) table formation — enumerate
+// combinations of column programs and join patterns until one reproduces
+// the example table. Unlike Dynamite it learns nothing from failed
+// candidates (each failure eliminates exactly one candidate), and it emits
+// an imperative JavaScript traversal program rather than Datalog.
+
+#ifndef DYNAMITE_BASELINES_MITRA_H_
+#define DYNAMITE_BASELINES_MITRA_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "schema/schema.h"
+#include "synth/example.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+struct MitraOptions {
+  double timeout_seconds = 3600;
+  size_t max_candidates = 50'000'000;
+};
+
+struct MitraResult {
+  Program program;         ///< the mapping, expressed as Datalog for comparison
+  std::string javascript;  ///< generated imperative migration program
+  size_t candidates_tried = 0;
+  double seconds = 0;
+};
+
+/// Mitra-style synthesizer: document (or any) source to relational target.
+class MitraSynthesizer {
+ public:
+  MitraSynthesizer(Schema source, Schema target, MitraOptions options = MitraOptions());
+
+  Result<MitraResult> Synthesize(const Example& example) const;
+
+ private:
+  Schema source_;
+  Schema target_;
+  MitraOptions options_;
+};
+
+/// Renders a Datalog mapping program as an imperative JavaScript traversal
+/// (the shape of program Mitra emits; used for the lines-of-code
+/// comparison in §6.5).
+std::string ProgramToJavaScript(const Program& program, const Schema& source,
+                                const Schema& target);
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_BASELINES_MITRA_H_

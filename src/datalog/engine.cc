@@ -1,0 +1,389 @@
+#include "datalog/engine.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace dynamite {
+
+namespace {
+
+/// Compiled term: constant or variable slot.
+struct Slot {
+  bool is_const = false;
+  bool is_wildcard = false;
+  Value constant;
+  int var = -1;  // slot index for variables
+};
+
+/// Compiled atom with a static join plan relative to its position in the
+/// body (left-to-right matching order).
+struct CompiledAtom {
+  std::string relation;
+  std::vector<Slot> slots;
+  // Positions whose value is known before scanning this atom (constants and
+  // variables bound by earlier atoms) — these form the hash-index key.
+  std::vector<size_t> key_positions;
+  // Positions to verify after a candidate tuple is fetched (repeated
+  // variables within this atom).
+  std::vector<size_t> check_positions;
+  // Positions that bind a fresh variable.
+  std::vector<size_t> bind_positions;
+};
+
+struct CompiledRule {
+  std::vector<CompiledAtom> body;
+  // Head: per head atom, relation + slots (constants or bound vars).
+  struct Head {
+    std::string relation;
+    std::vector<Slot> slots;
+  };
+  std::vector<Head> heads;
+  int num_slots = 0;
+  bool has_idb_body = false;             // any body atom reads an IDB relation
+  std::vector<size_t> idb_body_atoms;    // indices of IDB body atoms
+};
+
+Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& idb) {
+  CompiledRule out;
+  std::map<std::string, int> var_slot;
+  auto slot_of = [&](const std::string& v) {
+    auto it = var_slot.find(v);
+    if (it != var_slot.end()) return it->second;
+    int s = static_cast<int>(var_slot.size());
+    var_slot[v] = s;
+    return s;
+  };
+
+  std::vector<bool> bound;  // grows with slots
+  auto is_bound = [&](int slot) {
+    return slot < static_cast<int>(bound.size()) && bound[static_cast<size_t>(slot)];
+  };
+  auto mark_bound = [&](int slot) {
+    if (slot >= static_cast<int>(bound.size())) bound.resize(static_cast<size_t>(slot) + 1, false);
+    bound[static_cast<size_t>(slot)] = true;
+  };
+
+  for (const Atom& atom : rule.body) {
+    CompiledAtom ca;
+    ca.relation = atom.relation;
+    // First pass: key positions = constants + vars bound by earlier atoms.
+    std::vector<bool> bound_at_entry;
+    for (size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      Slot s;
+      if (t.is_constant()) {
+        s.is_const = true;
+        s.constant = t.constant();
+        ca.key_positions.push_back(i);
+      } else if (t.is_wildcard()) {
+        s.is_wildcard = true;
+      } else {
+        s.var = slot_of(t.var());
+        if (is_bound(s.var)) {
+          ca.key_positions.push_back(i);
+        }
+      }
+      ca.slots.push_back(std::move(s));
+    }
+    // Second pass: within-atom repeats become checks; fresh vars bind.
+    std::set<int> bound_here;
+    for (size_t i = 0; i < ca.slots.size(); ++i) {
+      const Slot& s = ca.slots[i];
+      if (s.is_const || s.is_wildcard) continue;
+      if (is_bound(s.var)) continue;  // already a key position
+      if (bound_here.count(s.var) > 0) {
+        ca.check_positions.push_back(i);
+      } else {
+        ca.bind_positions.push_back(i);
+        bound_here.insert(s.var);
+      }
+    }
+    for (int v : bound_here) mark_bound(v);
+    if (idb.count(ca.relation) > 0) {
+      out.has_idb_body = true;
+      out.idb_body_atoms.push_back(out.body.size());
+    }
+    out.body.push_back(std::move(ca));
+  }
+
+  for (const Atom& h : rule.heads) {
+    CompiledRule::Head head;
+    head.relation = h.relation;
+    for (const Term& t : h.terms) {
+      Slot s;
+      if (t.is_constant()) {
+        s.is_const = true;
+        s.constant = t.constant();
+      } else if (t.is_variable()) {
+        s.var = slot_of(t.var());
+        if (!is_bound(s.var)) {
+          return Status::InvalidArgument("head variable " + t.var() + " unbound in body");
+        }
+      } else {
+        return Status::InvalidArgument("wildcard in rule head");
+      }
+      head.slots.push_back(std::move(s));
+    }
+    out.heads.push_back(std::move(head));
+  }
+  out.num_slots = static_cast<int>(var_slot.size());
+  return out;
+}
+
+/// Hash index over a relation for a fixed set of key positions.
+class AtomIndex {
+ public:
+  AtomIndex(const Relation& rel, const std::vector<size_t>& key_positions)
+      : rel_(rel), key_positions_(key_positions) {
+    if (key_positions_.empty()) return;
+    index_.reserve(rel.size());
+    for (size_t i = 0; i < rel.tuples().size(); ++i) {
+      index_[rel.tuples()[i].Project(key_positions_)].push_back(i);
+    }
+  }
+
+  /// Tuple indices matching the key (all tuples when no key positions).
+  const std::vector<size_t>* Lookup(const Tuple& key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    return &it->second;
+  }
+
+  bool full_scan() const { return key_positions_.empty(); }
+  const Relation& relation() const { return rel_; }
+
+ private:
+  const Relation& rel_;
+  std::vector<size_t> key_positions_;
+  std::unordered_map<Tuple, std::vector<size_t>> index_;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const DatalogEngine::Options& options) : options_(options) {}
+
+  Status Run(const Program& program, const FactDatabase& edb,
+             const std::map<std::string, std::vector<std::string>>& idb_sigs,
+             FactDatabase* out) {
+    std::set<std::string> idb;
+    for (const auto& [name, attrs] : idb_sigs) idb.insert(name);
+
+    // Validate heads against signatures; compile rules.
+    std::vector<CompiledRule> rules;
+    for (const Rule& rule : program.rules) {
+      DYNAMITE_RETURN_NOT_OK(rule.Validate());
+      for (const Atom& h : rule.heads) {
+        auto it = idb_sigs.find(h.relation);
+        if (it == idb_sigs.end()) {
+          return Status::InvalidArgument("head relation " + h.relation +
+                                         " missing from IDB signatures");
+        }
+        if (it->second.size() != h.terms.size()) {
+          return Status::InvalidArgument("arity mismatch for head relation " + h.relation);
+        }
+      }
+      for (const Atom& b : rule.body) {
+        if (idb.count(b.relation) == 0) {
+          DYNAMITE_ASSIGN_OR_RETURN(const Relation* rel, edb.Find(b.relation));
+          if (rel->arity() != b.terms.size()) {
+            return Status::InvalidArgument("arity mismatch for body relation " + b.relation +
+                                           " (expected " + std::to_string(rel->arity()) +
+                                           " got " + std::to_string(b.terms.size()) + ")");
+          }
+        }
+      }
+      DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr, CompileRule(rule, idb));
+      rules.push_back(std::move(cr));
+    }
+    // IDB body atoms must also have matching arity.
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      for (size_t ai : rules[ri].idb_body_atoms) {
+        const CompiledAtom& ca = rules[ri].body[ai];
+        if (idb_sigs.at(ca.relation).size() != ca.slots.size()) {
+          return Status::InvalidArgument("arity mismatch for IDB body relation " + ca.relation);
+        }
+      }
+    }
+
+    for (const auto& [name, attrs] : idb_sigs) {
+      DYNAMITE_ASSIGN_OR_RETURN(Relation * rel, out->DeclareRelation(name, attrs));
+      (void)rel;
+    }
+
+    Timer timer;
+    size_t derived = 0;
+
+    // Delta relations for semi-naive iteration.
+    std::map<std::string, Relation> delta;
+    for (const auto& [name, attrs] : idb_sigs) delta.emplace(name, Relation(name, attrs));
+
+    auto emit = [&](const CompiledRule& rule, const std::vector<Value>& env,
+                    std::map<std::string, Relation>* next_delta) -> Status {
+      for (const auto& head : rule.heads) {
+        std::vector<Value> vals;
+        vals.reserve(head.slots.size());
+        for (const Slot& s : head.slots) {
+          vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        Tuple t(std::move(vals));
+        Relation* full = out->FindMutable(head.relation).ValueOrDie();
+        if (full->Insert(t)) {
+          ++derived;
+          if (derived > options_.max_derived_tuples) {
+            return Status::Timeout("derived tuple limit exceeded");
+          }
+          next_delta->at(head.relation).Insert(std::move(t));
+        }
+      }
+      if (options_.timeout_seconds > 0 && (derived & 0x3ff) == 0 &&
+          timer.ElapsedSeconds() > options_.timeout_seconds) {
+        return Status::Timeout("evaluation timeout");
+      }
+      return Status::OK();
+    };
+
+    // One matching pass of a rule. `delta_atom` >= 0 restricts that body
+    // atom to the previous iteration's delta.
+    auto eval_rule = [&](const CompiledRule& rule, int delta_atom,
+                         std::map<std::string, Relation>* next_delta) -> Status {
+      // Resolve relation views and build indexes.
+      std::vector<const Relation*> views(rule.body.size());
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        const std::string& rel_name = rule.body[i].relation;
+        if (static_cast<int>(i) == delta_atom) {
+          views[i] = &delta.at(rel_name);
+        } else if (idb.count(rel_name) > 0) {
+          views[i] = out->Find(rel_name).ValueOrDie();
+        } else {
+          views[i] = edb.Find(rel_name).ValueOrDie();
+        }
+        if (views[i]->empty()) return Status::OK();  // no matches possible
+      }
+      std::vector<AtomIndex> indexes;
+      indexes.reserve(rule.body.size());
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        indexes.emplace_back(*views[i], rule.body[i].key_positions);
+      }
+
+      std::vector<Value> env(static_cast<size_t>(rule.num_slots));
+      Status status = Status::OK();
+
+      // Recursive left-to-right matcher.
+      auto match = [&](auto&& self, size_t atom_idx) -> void {
+        if (!status.ok()) return;
+        if (atom_idx == rule.body.size()) {
+          status = emit(rule, env, next_delta);
+          return;
+        }
+        const CompiledAtom& ca = rule.body[atom_idx];
+        const AtomIndex& index = indexes[atom_idx];
+        const std::vector<Tuple>& tuples = index.relation().tuples();
+
+        auto try_tuple = [&](const Tuple& t) {
+          if (!status.ok()) return;
+          // Bind fresh variables, then verify within-atom repeats (a check
+          // position's variable is always bound by an earlier position of
+          // this same atom, so binding first is correct).
+          for (size_t p : ca.bind_positions) {
+            env[static_cast<size_t>(ca.slots[p].var)] = t[p];
+          }
+          for (size_t p : ca.check_positions) {
+            if (t[p] != env[static_cast<size_t>(ca.slots[p].var)]) return;
+          }
+          self(self, atom_idx + 1);
+        };
+
+        if (index.full_scan()) {
+          for (const Tuple& t : tuples) try_tuple(t);
+        } else {
+          std::vector<Value> key_vals;
+          key_vals.reserve(ca.key_positions.size());
+          for (size_t p : ca.key_positions) {
+            const Slot& s = ca.slots[p];
+            key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+          }
+          const std::vector<size_t>* matches = index.Lookup(Tuple(std::move(key_vals)));
+          if (matches == nullptr) return;
+          for (size_t ti : *matches) try_tuple(tuples[ti]);
+        }
+      };
+      match(match, 0);
+      return status;
+    };
+
+    // Iteration 0: every rule evaluated with full views (IDB empty unless a
+    // rule derived into it earlier in this same pass — harmless, fixpoint
+    // fixes ordering).
+    std::map<std::string, Relation> next_delta;
+    for (const auto& [name, attrs] : idb_sigs) next_delta.emplace(name, Relation(name, attrs));
+    for (const CompiledRule& rule : rules) {
+      DYNAMITE_RETURN_NOT_OK(eval_rule(rule, -1, &next_delta));
+    }
+    delta = std::move(next_delta);
+
+    // Semi-naive fixpoint for recursive programs.
+    size_t iterations = 0;
+    auto delta_nonempty = [&]() {
+      for (const auto& [name, rel] : delta) {
+        if (!rel.empty()) return true;
+      }
+      return false;
+    };
+    while (delta_nonempty()) {
+      if (++iterations > options_.max_iterations) {
+        return Status::Timeout("fixpoint iteration limit exceeded");
+      }
+      next_delta.clear();
+      for (const auto& [name, attrs] : idb_sigs) next_delta.emplace(name, Relation(name, attrs));
+      bool any_rule = false;
+      for (const CompiledRule& rule : rules) {
+        if (!rule.has_idb_body) continue;
+        any_rule = true;
+        for (size_t ai : rule.idb_body_atoms) {
+          if (delta.at(rule.body[ai].relation).empty()) continue;
+          DYNAMITE_RETURN_NOT_OK(eval_rule(rule, static_cast<int>(ai), &next_delta));
+        }
+      }
+      if (!any_rule) break;  // non-recursive program: done after pass 0
+      delta = std::move(next_delta);
+    }
+    return Status::OK();
+  }
+
+ private:
+  DatalogEngine::Options options_;
+};
+
+}  // namespace
+
+Result<FactDatabase> DatalogEngine::Eval(
+    const Program& program, const FactDatabase& edb,
+    const std::map<std::string, std::vector<std::string>>& idb_signatures) const {
+  FactDatabase out;
+  Evaluator evaluator(options_);
+  DYNAMITE_RETURN_NOT_OK(evaluator.Run(program, edb, idb_signatures, &out));
+  return out;
+}
+
+Result<FactDatabase> DatalogEngine::EvalAutoSignatures(const Program& program,
+                                                       const FactDatabase& edb) const {
+  std::map<std::string, std::vector<std::string>> sigs;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& h : rule.heads) {
+      if (sigs.count(h.relation) > 0) {
+        if (sigs[h.relation].size() != h.terms.size()) {
+          return Status::InvalidArgument("inconsistent arity for relation " + h.relation);
+        }
+        continue;
+      }
+      std::vector<std::string> attrs;
+      for (size_t i = 0; i < h.terms.size(); ++i) attrs.push_back("c" + std::to_string(i));
+      sigs[h.relation] = std::move(attrs);
+    }
+  }
+  return Eval(program, edb, sigs);
+}
+
+}  // namespace dynamite

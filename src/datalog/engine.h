@@ -1,0 +1,62 @@
+// Bottom-up Datalog evaluation engine (the Souffle substrate).
+//
+// Evaluates a Datalog program over a FactDatabase of extensional facts and
+// returns the intensional relations of the least Herbrand model (§3.2).
+// Non-recursive programs (all that synthesis needs) complete in one pass;
+// recursive programs are handled with semi-naive fixpoint iteration, so the
+// engine is a complete substrate rather than a special case.
+//
+// Join strategy: per rule, body atoms are matched left-to-right; for each
+// atom a hash index is built on the positions bound by constants or by
+// earlier atoms, so each join step is a hash lookup rather than a scan.
+
+#ifndef DYNAMITE_DATALOG_ENGINE_H_
+#define DYNAMITE_DATALOG_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/result.h"
+#include "value/database.h"
+
+namespace dynamite {
+
+/// Bottom-up Datalog evaluator.
+class DatalogEngine {
+ public:
+  struct Options {
+    /// Fixpoint iteration cap (cycles in the rule dependency graph).
+    size_t max_iterations = 1'000'000;
+    /// Hard cap on total derived tuples; evaluation aborts with kTimeout
+    /// when exceeded (guards against pathological joins, cf. §6.2 of the
+    /// paper where random examples cause very large intermediate outputs).
+    size_t max_derived_tuples = 20'000'000;
+    /// Wall-clock budget in seconds; <= 0 disables the check.
+    double timeout_seconds = 0;
+  };
+
+  DatalogEngine() : options_(Options()) {}
+  explicit DatalogEngine(Options options) : options_(options) {}
+
+  /// Evaluates `program` on `edb`. `idb_signatures` names the attributes of
+  /// every intensional relation (relation -> attribute names); arities must
+  /// match the head atoms. The result contains exactly the intensional
+  /// relations.
+  Result<FactDatabase> Eval(
+      const Program& program, const FactDatabase& edb,
+      const std::map<std::string, std::vector<std::string>>& idb_signatures) const;
+
+  /// Like Eval, but derives signatures automatically (attributes named
+  /// "c0", "c1", ...).
+  Result<FactDatabase> EvalAutoSignatures(const Program& program,
+                                          const FactDatabase& edb) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_DATALOG_ENGINE_H_

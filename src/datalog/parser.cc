@@ -1,0 +1,159 @@
+// Recursive-descent parser for the Datalog syntax of Figure 4 (plus
+// constants, wildcards, and multi-head rules). Comments start with `//` or
+// `%` and run to end of line.
+
+#include <cctype>
+#include <cstdlib>
+
+#include "datalog/ast.h"
+
+namespace dynamite {
+
+namespace {
+
+class DatalogParser {
+ public:
+  explicit DatalogParser(std::string_view text) : text_(text) {}
+
+  Result<Program> Parse() {
+    Program program;
+    SkipWs();
+    while (!Eof()) {
+      DYNAMITE_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+      SkipWs();
+    }
+    DYNAMITE_RETURN_NOT_OK(program.Validate());
+    return program;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::ParseError("Datalog: " + msg + " at offset " + std::to_string(pos_));
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '%' || (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/')) {
+        while (!Eof() && Peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (!Eof() && Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipWs();
+    if (Eof() || !(std::isalpha(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      return Error("expected identifier");
+    }
+    size_t start = pos_;
+    while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTerm() {
+    SkipWs();
+    if (Eof()) return Error("expected term");
+    char c = Peek();
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (!Eof() && Peek() != '"') {
+        char ch = text_[pos_++];
+        if (ch == '\\' && !Eof()) {
+          char e = text_[pos_++];
+          s.push_back(e == 'n' ? '\n' : e == 't' ? '\t' : e);
+        } else {
+          s.push_back(ch);
+        }
+      }
+      if (Eof()) return Error("unterminated string literal");
+      ++pos_;
+      return Term::Const(Value::String(std::move(s)));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_float = false;
+      while (!Eof() && (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.')) {
+        if (Peek() == '.') is_float = true;
+        ++pos_;
+      }
+      std::string token(text_.substr(start, pos_ - start));
+      if (is_float) return Term::Const(Value::Float(std::strtod(token.c_str(), nullptr)));
+      return Term::Const(Value::Int(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+    DYNAMITE_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    if (ident == "_") return Term::Wildcard();
+    if (ident == "true") return Term::Const(Value::Bool(true));
+    if (ident == "false") return Term::Const(Value::Bool(false));
+    return Term::Var(std::move(ident));
+  }
+
+  Result<Atom> ParseAtom() {
+    DYNAMITE_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    Atom atom;
+    atom.relation = std::move(name);
+    if (!Consume('(')) return Error("expected '(' after relation name");
+    if (!Consume(')')) {
+      while (true) {
+        DYNAMITE_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.terms.push_back(std::move(t));
+        if (Consume(')')) break;
+        if (!Consume(',')) return Error("expected ',' or ')' in predicate");
+      }
+    }
+    return atom;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    // Heads: one or more atoms separated by commas, until ":-".
+    while (true) {
+      DYNAMITE_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+      rule.heads.push_back(std::move(head));
+      SkipWs();
+      if (Consume(',')) continue;
+      break;
+    }
+    SkipWs();
+    if (!(Consume(':') && Consume('-'))) return Error("expected ':-'");
+    while (true) {
+      DYNAMITE_ASSIGN_OR_RETURN(Atom b, ParseAtom());
+      rule.body.push_back(std::move(b));
+      if (Consume(',')) continue;
+      break;
+    }
+    if (!Consume('.')) return Error("expected '.' at end of rule");
+    return rule;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Program::Parse(std::string_view text) {
+  return DatalogParser(text).Parse();
+}
+
+}  // namespace dynamite

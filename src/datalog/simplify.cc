@@ -1,0 +1,235 @@
+#include "datalog/simplify.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dynamite {
+
+namespace {
+
+/// Counts occurrences of each variable across the whole rule.
+std::map<std::string, int> VarCounts(const Rule& rule) {
+  std::map<std::string, int> counts;
+  for (const Atom& a : rule.heads) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) ++counts[t.var()];
+    }
+  }
+  for (const Atom& a : rule.body) {
+    for (const Term& t : a.terms) {
+      if (t.is_variable()) ++counts[t.var()];
+    }
+  }
+  return counts;
+}
+
+/// True if body atom `a` is subsumed by body atom `b` (same relation):
+/// every position of `a` is either a wildcard, a variable local to `a`
+/// (occurring nowhere else in the rule), or exactly equal to `b`'s term.
+/// Local variables must map injectively-consistently to b's terms.
+bool AtomSubsumedBy(const Atom& a, const Atom& b,
+                    const std::map<std::string, int>& counts) {
+  if (a.relation != b.relation || a.terms.size() != b.terms.size()) return false;
+  std::map<std::string, Term> local_map;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    const Term& ta = a.terms[i];
+    const Term& tb = b.terms[i];
+    if (ta.is_wildcard()) continue;
+    if (ta.is_variable()) {
+      auto it = counts.find(ta.var());
+      int n = it == counts.end() ? 0 : it->second;
+      // Count occurrences of the variable inside atom `a` itself.
+      int in_a = 0;
+      for (const Term& t : a.terms) {
+        if (t.is_variable() && t.var() == ta.var()) ++in_a;
+      }
+      if (n == in_a) {
+        // Local to `a`: may match anything, but repeats must be consistent.
+        auto [mit, inserted] = local_map.emplace(ta.var(), tb);
+        if (!inserted && !(mit->second == tb)) return false;
+        continue;
+      }
+    }
+    if (!(ta == tb)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Rule SimplifyRule(const Rule& rule) {
+  Rule out = rule;
+
+  // 1. Remove exact duplicates (keep first occurrence).
+  {
+    std::vector<Atom> deduped;
+    for (const Atom& a : out.body) {
+      if (std::find(deduped.begin(), deduped.end(), a) == deduped.end()) {
+        deduped.push_back(a);
+      }
+    }
+    out.body = std::move(deduped);
+  }
+
+  // 2. Subsumption removal, iterated to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::string, int> counts = VarCounts(out);
+    for (size_t i = 0; i < out.body.size(); ++i) {
+      for (size_t j = 0; j < out.body.size(); ++j) {
+        if (i == j) continue;
+        if (AtomSubsumedBy(out.body[i], out.body[j], counts)) {
+          out.body.erase(out.body.begin() + static_cast<long>(i));
+          changed = true;
+          break;
+        }
+      }
+      if (changed) break;
+    }
+  }
+
+  // 3. Single-occurrence variables -> wildcard (body only; head variables
+  // always occur at least twice if range-restricted).
+  std::map<std::string, int> counts = VarCounts(out);
+  for (Atom& a : out.body) {
+    for (Term& t : a.terms) {
+      if (t.is_variable() && counts[t.var()] == 1) t = Term::Wildcard();
+    }
+  }
+  return out;
+}
+
+Program SimplifyProgram(const Program& program) {
+  Program out;
+  out.rules.reserve(program.rules.size());
+  for (const Rule& r : program.rules) out.rules.push_back(SimplifyRule(r));
+  return out;
+}
+
+namespace {
+
+/// Backtracking homomorphism search from `from`'s atoms into `to`'s atoms.
+/// `head_pairs` fixes the mapping on head atoms (position-aligned).
+/// A homomorphism maps variables of `from` to terms of `to` (variables or
+/// constants), constants to equal constants, and wildcards to anything.
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const Rule& from, const Rule& to) : from_(from), to_(to) {}
+
+  bool Exists() {
+    // Heads must be position-aligned: same number/relations/arities.
+    if (from_.heads.size() != to_.heads.size()) return false;
+    for (size_t i = 0; i < from_.heads.size(); ++i) {
+      if (from_.heads[i].relation != to_.heads[i].relation ||
+          from_.heads[i].terms.size() != to_.heads[i].terms.size()) {
+        return false;
+      }
+      if (!UnifyAtom(from_.heads[i], to_.heads[i])) return false;
+    }
+    return MapBody(0);
+  }
+
+ private:
+  bool UnifyAtom(const Atom& a, const Atom& b) {
+    for (size_t i = 0; i < a.terms.size(); ++i) {
+      if (!UnifyTerm(a.terms[i], b.terms[i])) return false;
+    }
+    return true;
+  }
+
+  bool UnifyTerm(const Term& a, const Term& b) {
+    if (a.is_wildcard()) return true;
+    if (a.is_constant()) return b.is_constant() && a.constant() == b.constant();
+    auto it = mapping_.find(a.var());
+    if (it != mapping_.end()) return it->second == b;
+    mapping_[a.var()] = b;
+    trail_.push_back(a.var());
+    return true;
+  }
+
+  bool MapBody(size_t idx) {
+    if (idx == from_.body.size()) return true;
+    const Atom& a = from_.body[idx];
+    for (const Atom& b : to_.body) {
+      if (b.relation != a.relation || b.terms.size() != a.terms.size()) continue;
+      size_t mark = trail_.size();
+      if (UnifyAtom(a, b) && MapBody(idx + 1)) return true;
+      while (trail_.size() > mark) {
+        mapping_.erase(trail_.back());
+        trail_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const Rule& from_;
+  const Rule& to_;
+  std::map<std::string, Term> mapping_;
+  std::vector<std::string> trail_;
+};
+
+/// Renames variables to fresh canonical names so the two rules share no
+/// variable names (avoids accidental capture during homomorphism search).
+/// When `name_wildcards` is set, each wildcard occurrence additionally
+/// becomes a distinct fresh variable — required on the *target* side of a
+/// homomorphism, where `_` denotes an anonymous variable that a source
+/// variable must map to consistently, not a "matches anything" hole.
+Rule RenameApart(const Rule& rule, const std::string& prefix, bool name_wildcards) {
+  Rule out = rule;
+  std::map<std::string, std::string> renaming;
+  int wildcard_count = 0;
+  auto rename = [&](Term& t) {
+    if (t.is_wildcard()) {
+      if (name_wildcards) {
+        t = Term::Var(prefix + "_w" + std::to_string(wildcard_count++));
+      }
+      return;
+    }
+    if (!t.is_variable()) return;
+    auto it = renaming.find(t.var());
+    if (it == renaming.end()) {
+      std::string fresh = prefix + std::to_string(renaming.size());
+      renaming[t.var()] = fresh;
+      t = Term::Var(fresh);
+    } else {
+      t = Term::Var(it->second);
+    }
+  };
+  for (Atom& a : out.heads) {
+    for (Term& t : a.terms) rename(t);
+  }
+  for (Atom& a : out.body) {
+    for (Term& t : a.terms) rename(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool RuleContains(const Rule& from, const Rule& to) {
+  Rule f = RenameApart(from, "_f", /*name_wildcards=*/false);
+  Rule t = RenameApart(to, "_t", /*name_wildcards=*/true);
+  HomomorphismSearch search(f, t);
+  return search.Exists();
+}
+
+bool RuleEquivalent(const Rule& a, const Rule& b) {
+  return RuleContains(a, b) && RuleContains(b, a);
+}
+
+bool RuleIsomorphic(const Rule& a, const Rule& b) {
+  if (a.body.size() != b.body.size()) return false;
+  // Isomorphism = equivalence with equal body sizes *and* injective
+  // homomorphisms both ways; for the small rules we handle, containment both
+  // ways with equal atom counts (after simplification) is the practical
+  // criterion used for Table 3's syntactic-identity metric.
+  return RuleEquivalent(a, b);
+}
+
+int DistanceToOptimal(const Rule& rule, const Rule& optimal) {
+  int d = static_cast<int>(rule.body.size()) - static_cast<int>(optimal.body.size());
+  return d > 0 ? d : 0;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,50 @@
+// Rule simplification and conjunctive-query equivalence.
+//
+// The synthesizer reports rules "after simplification" (§6.1 of the paper):
+// duplicate and subsumed body atoms are removed and variables occurring only
+// once are replaced by wildcards. Equivalence checking between (unions of)
+// conjunctive queries — used for the "# Optim Rules" and "Dist to Optim"
+// metrics of Table 3 — is implemented via homomorphism search, which is
+// sound and complete for the recursion-free, negation-free fragment the
+// synthesizer emits.
+
+#ifndef DYNAMITE_DATALOG_SIMPLIFY_H_
+#define DYNAMITE_DATALOG_SIMPLIFY_H_
+
+#include "datalog/ast.h"
+
+namespace dynamite {
+
+/// Simplifies a rule body:
+///  1. removes exact duplicate atoms;
+///  2. removes atoms subsumed by another atom (an atom is dropped when some
+///     other atom of the same relation matches it position-wise, treating
+///     the dropped atom's "local" variables — those occurring nowhere else
+///     in the rule — as wildcards; this is a homomorphism, hence sound);
+///  3. rewrites variables that occur exactly once in the rule to `_`.
+Rule SimplifyRule(const Rule& rule);
+
+/// Simplifies every rule of a program.
+Program SimplifyProgram(const Program& program);
+
+/// True if there is a homomorphism from `from`'s body to `to`'s body that
+/// maps head atoms of `from` onto head atoms of `to` (i.e. `to` ⊑ `from`
+/// as conjunctive queries: every tuple produced by `to` is produced by
+/// `from`). Both rules must have the same head relations/arities.
+bool RuleContains(const Rule& from, const Rule& to);
+
+/// Conjunctive-query equivalence: containment in both directions.
+bool RuleEquivalent(const Rule& a, const Rule& b);
+
+/// True if the rules are identical up to variable renaming and body atom
+/// reordering (syntactic identity in the sense of Table 3's
+/// "# Optim Rules" column).
+bool RuleIsomorphic(const Rule& a, const Rule& b);
+
+/// Number of extra body predicates in `rule` relative to `optimal`
+/// ("Dist to Optim" in Table 3); negative values clamp to 0.
+int DistanceToOptimal(const Rule& rule, const Rule& optimal);
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_DATALOG_SIMPLIFY_H_

@@ -1,0 +1,156 @@
+#include "instance/document.h"
+
+namespace dynamite {
+
+void DocumentInstance::Add(const std::string& collection, Json document) {
+  collections_[collection].push_back(std::move(document));
+}
+
+Result<DocumentInstance> DocumentInstance::FromJson(const Json& root) {
+  if (!root.is_object()) {
+    return Status::ParseError("document instance root must be a JSON object");
+  }
+  DocumentInstance inst;
+  for (const auto& [name, value] : root.AsObject()) {
+    if (!value.is_array()) {
+      return Status::ParseError("collection " + name + " must be a JSON array");
+    }
+    for (const Json& doc : value.AsArray()) {
+      if (!doc.is_object()) {
+        return Status::ParseError("collection " + name + " contains a non-object element");
+      }
+      inst.Add(name, doc);
+    }
+  }
+  return inst;
+}
+
+Result<DocumentInstance> DocumentInstance::FromJsonText(std::string_view text) {
+  DYNAMITE_ASSIGN_OR_RETURN(Json root, Json::Parse(text));
+  return FromJson(root);
+}
+
+Json DocumentInstance::ToJson() const {
+  Json root = Json::MakeObject();
+  for (const auto& [name, docs] : collections_) {
+    Json arr = Json::MakeArray();
+    for (const Json& d : docs) arr.Append(d);
+    root.Set(name, std::move(arr));
+  }
+  return root;
+}
+
+namespace {
+
+Result<Value> JsonToValue(const Json& j, PrimitiveType type, const std::string& attr) {
+  switch (type) {
+    case PrimitiveType::kInt:
+      if (j.is_int()) return Value::Int(j.AsInt());
+      break;
+    case PrimitiveType::kFloat:
+      if (j.is_number()) return Value::Float(j.AsDouble());
+      break;
+    case PrimitiveType::kBool:
+      if (j.is_bool()) return Value::Bool(j.AsBool());
+      break;
+    case PrimitiveType::kString:
+      if (j.is_string()) return Value::String(j.AsString());
+      break;
+  }
+  return Status::TypeError("field " + attr + " has JSON value " + j.Dump() +
+                           " incompatible with " + PrimitiveTypeToString(type));
+}
+
+Json ValueToJson(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kInt:
+      return Json::Int(v.AsInt());
+    case ValueKind::kFloat:
+      return Json::Double(v.AsFloat());
+    case ValueKind::kBool:
+      return Json::Bool(v.AsBool());
+    case ValueKind::kString:
+      return Json::String(v.AsString());
+    case ValueKind::kId:
+      return Json::Int(static_cast<int64_t>(v.AsId()));
+    case ValueKind::kNull:
+      return Json::Null();
+  }
+  return Json::Null();
+}
+
+Result<RecordNode> DocToNode(const Json& doc, const std::string& type, const Schema& schema) {
+  RecordNode node;
+  node.type = type;
+  for (const std::string& attr : schema.AttrsOf(type)) {
+    const Json* field = doc.Find(attr);
+    if (schema.IsPrimitive(attr)) {
+      if (field == nullptr) {
+        return Status::InvalidArgument("document of type " + type + " missing field " + attr);
+      }
+      DYNAMITE_ASSIGN_OR_RETURN(Value v, JsonToValue(*field, schema.PrimitiveOf(attr), attr));
+      node.prims.push_back({attr, std::move(v)});
+    } else {
+      std::vector<RecordNode> kids;
+      if (field != nullptr) {
+        if (!field->is_array()) {
+          return Status::InvalidArgument("nested field " + attr + " must be an array");
+        }
+        for (const Json& sub : field->AsArray()) {
+          if (!sub.is_object()) {
+            return Status::InvalidArgument("nested field " + attr + " contains a non-object");
+          }
+          DYNAMITE_ASSIGN_OR_RETURN(RecordNode kid, DocToNode(sub, attr, schema));
+          kids.push_back(std::move(kid));
+        }
+      }
+      node.children.push_back({attr, std::move(kids)});
+    }
+  }
+  return node;
+}
+
+Json NodeToDoc(const RecordNode& node, const Schema& schema) {
+  Json doc = Json::MakeObject();
+  for (const std::string& attr : schema.AttrsOf(node.type)) {
+    if (schema.IsPrimitive(attr)) {
+      doc.Set(attr, ValueToJson(node.Prim(attr)));
+    } else {
+      Json arr = Json::MakeArray();
+      for (const RecordNode& kid : node.Children(attr)) {
+        arr.Append(NodeToDoc(kid, schema));
+      }
+      doc.Set(attr, std::move(arr));
+    }
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<RecordForest> DocumentInstance::ToForest(const Schema& schema) const {
+  RecordForest forest;
+  for (const auto& [name, docs] : collections_) {
+    if (!schema.IsRecord(name)) {
+      return Status::InvalidArgument("collection " + name + " not in schema");
+    }
+    for (const Json& doc : docs) {
+      DYNAMITE_ASSIGN_OR_RETURN(RecordNode node, DocToNode(doc, name, schema));
+      forest.roots.push_back(std::move(node));
+    }
+  }
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  return forest;
+}
+
+Result<DocumentInstance> DocumentInstance::FromForest(const RecordForest& forest,
+                                                      const Schema& schema) {
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  DocumentInstance inst;
+  for (const RecordNode& root : forest.roots) {
+    inst.Add(root.type, NodeToDoc(root, schema));
+  }
+  return inst;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,51 @@
+// DocumentInstance: a document (JSON) database — named top-level collections
+// of JSON objects, with nesting per the document schema.
+
+#ifndef DYNAMITE_INSTANCE_DOCUMENT_H_
+#define DYNAMITE_INSTANCE_DOCUMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "instance/record_forest.h"
+#include "json/json.h"
+#include "schema/schema.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+/// A document database instance: collection name -> array of documents.
+class DocumentInstance {
+ public:
+  /// Adds a document to a collection (created on first use).
+  void Add(const std::string& collection, Json document);
+
+  const std::map<std::string, std::vector<Json>>& collections() const {
+    return collections_;
+  }
+
+  /// Parses an instance from a JSON object {"Coll": [ {...}, ... ], ...}.
+  static Result<DocumentInstance> FromJson(const Json& root);
+
+  /// Parses from JSON text.
+  static Result<DocumentInstance> FromJsonText(std::string_view text);
+
+  /// Serializes back to a single JSON object.
+  Json ToJson() const;
+
+  /// Lowers the instance into a RecordForest against `schema`. Nested arrays
+  /// of objects become child records; scalar fields become primitive values.
+  Result<RecordForest> ToForest(const Schema& schema) const;
+
+  /// Rebuilds a DocumentInstance from a forest (inverse of ToForest).
+  static Result<DocumentInstance> FromForest(const RecordForest& forest,
+                                             const Schema& schema);
+
+ private:
+  std::map<std::string, std::vector<Json>> collections_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_INSTANCE_DOCUMENT_H_

@@ -1,0 +1,102 @@
+#include "instance/graph.h"
+
+#include "schema/schema_builder.h"
+
+namespace dynamite {
+
+Result<RecordForest> GraphInstance::ToForest(const Schema& schema) const {
+  RecordForest forest;
+  for (const GraphNode& n : nodes_) {
+    if (!schema.IsRecord(n.label)) {
+      return Status::InvalidArgument("node label " + n.label + " not in schema");
+    }
+    RecordNode rec;
+    rec.type = n.label;
+    for (const auto& [attr, value] : n.properties) rec.prims.push_back({attr, value});
+    forest.roots.push_back(std::move(rec));
+  }
+  for (const GraphEdge& e : edges_) {
+    if (!schema.IsRecord(e.label)) {
+      return Status::InvalidArgument("edge label " + e.label + " not in schema");
+    }
+    RecordNode rec;
+    rec.type = e.label;
+    // The schema's first two attributes of an edge record are, by
+    // construction in GraphSchemaBuilder, the source and target attributes.
+    const auto& attrs = schema.AttrsOf(e.label);
+    if (attrs.size() < 2) {
+      return Status::InvalidArgument("edge record " + e.label + " lacks source/target");
+    }
+    rec.prims.push_back({attrs[0], Value::Int(e.source)});
+    rec.prims.push_back({attrs[1], Value::Int(e.target)});
+    for (const auto& [attr, value] : e.properties) rec.prims.push_back({attr, value});
+    forest.roots.push_back(std::move(rec));
+  }
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  return forest;
+}
+
+Result<GraphInstance> GraphInstance::FromForest(
+    const RecordForest& forest, const Schema& schema,
+    const std::vector<std::pair<std::string, std::string>>& edge_prefixes) {
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  GraphInstance g;
+  auto find_prefix = [&](const std::string& type) -> const std::string* {
+    for (const auto& [rec, prefix] : edge_prefixes) {
+      if (rec == type) return &prefix;
+    }
+    return nullptr;
+  };
+  for (const RecordNode& rec : forest.roots) {
+    const std::string* prefix = find_prefix(rec.type);
+    if (prefix != nullptr) {
+      GraphEdge e;
+      e.label = rec.type;
+      const Value& src = rec.Prim(GraphSchemaBuilder::SourceAttr(*prefix));
+      const Value& tgt = rec.Prim(GraphSchemaBuilder::TargetAttr(*prefix));
+      if (!src.is_int() || !tgt.is_int()) {
+        return Status::TypeError("edge record " + rec.type +
+                                 " has non-integer source/target");
+      }
+      e.source = src.AsInt();
+      e.target = tgt.AsInt();
+      for (const auto& [attr, value] : rec.prims) {
+        if (attr != GraphSchemaBuilder::SourceAttr(*prefix) &&
+            attr != GraphSchemaBuilder::TargetAttr(*prefix)) {
+          e.properties.push_back({attr, value});
+        }
+      }
+      g.AddEdge(std::move(e));
+    } else {
+      GraphNode n;
+      n.label = rec.type;
+      n.properties = rec.prims;
+      g.AddNode(std::move(n));
+    }
+  }
+  return g;
+}
+
+std::string GraphInstance::ToString() const {
+  std::string out;
+  for (const GraphNode& n : nodes_) {
+    out += "node " + n.label + " {";
+    for (size_t i = 0; i < n.properties.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += n.properties[i].first + ": " + n.properties[i].second.ToString();
+    }
+    out += "}\n";
+  }
+  for (const GraphEdge& e : edges_) {
+    out += "edge " + e.label + " " + std::to_string(e.source) + " -> " +
+           std::to_string(e.target) + " {";
+    for (size_t i = 0; i < e.properties.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += e.properties[i].first + ": " + e.properties[i].second.ToString();
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace dynamite

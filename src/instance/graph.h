@@ -1,0 +1,64 @@
+// GraphInstance: a property-graph database — typed nodes and typed edges
+// with properties (Example 3 of the paper).
+
+#ifndef DYNAMITE_INSTANCE_GRAPH_H_
+#define DYNAMITE_INSTANCE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "instance/record_forest.h"
+#include "schema/schema.h"
+#include "util/result.h"
+#include "value/value.h"
+
+namespace dynamite {
+
+/// A node in a property graph.
+struct GraphNode {
+  std::string label;  ///< node type
+  std::vector<std::pair<std::string, Value>> properties;
+};
+
+/// A directed edge in a property graph. Endpoints are expressed as the Int
+/// values of the implicit source/target attributes (node identifiers).
+struct GraphEdge {
+  std::string label;  ///< edge type
+  int64_t source = 0;
+  int64_t target = 0;
+  std::vector<std::pair<std::string, Value>> properties;
+};
+
+/// A property-graph instance.
+class GraphInstance {
+ public:
+  void AddNode(GraphNode node) { nodes_.push_back(std::move(node)); }
+  void AddEdge(GraphEdge edge) { edges_.push_back(std::move(edge)); }
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Lowers into a RecordForest against a schema produced by
+  /// GraphSchemaBuilder: each node/edge becomes a flat top-level record;
+  /// edges gain `<prefix>_source` / `<prefix>_target` attributes.
+  Result<RecordForest> ToForest(const Schema& schema) const;
+
+  /// Rebuilds a graph from a forest of flat records: records whose type has
+  /// source/target attributes (per `edge_prefixes`) become edges, the rest
+  /// nodes. `edge_prefixes` maps edge record name -> attribute prefix.
+  static Result<GraphInstance> FromForest(
+      const RecordForest& forest, const Schema& schema,
+      const std::vector<std::pair<std::string, std::string>>& edge_prefixes);
+
+  /// Multi-line printout.
+  std::string ToString() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_INSTANCE_GRAPH_H_

@@ -1,0 +1,89 @@
+#include "instance/record_forest.h"
+
+namespace dynamite {
+
+const Value& RecordNode::Prim(const std::string& attr) const {
+  static const Value kNull;
+  for (const auto& [name, value] : prims) {
+    if (name == attr) return value;
+  }
+  return kNull;
+}
+
+const std::vector<RecordNode>& RecordNode::Children(const std::string& attr) const {
+  static const std::vector<RecordNode> kEmpty;
+  for (const auto& [name, kids] : children) {
+    if (name == attr) return kids;
+  }
+  return kEmpty;
+}
+
+std::vector<const RecordNode*> RecordForest::RootsOfType(const std::string& type) const {
+  std::vector<const RecordNode*> out;
+  for (const RecordNode& r : roots) {
+    if (r.type == type) out.push_back(&r);
+  }
+  return out;
+}
+
+namespace {
+size_t CountRecords(const RecordNode& node) {
+  size_t n = 1;
+  for (const auto& [attr, kids] : node.children) {
+    for (const RecordNode& k : kids) n += CountRecords(k);
+  }
+  return n;
+}
+
+Status ValidateNode(const RecordNode& node, const Schema& schema) {
+  if (!schema.IsRecord(node.type)) {
+    return Status::InvalidArgument("unknown record type in instance: " + node.type);
+  }
+  for (const std::string& attr : schema.AttrsOf(node.type)) {
+    if (schema.IsPrimitive(attr)) {
+      const Value& v = node.Prim(attr);
+      if (v.is_null()) {
+        return Status::InvalidArgument("record " + node.type + " missing attribute " + attr);
+      }
+      if (!ValueMatchesType(v, schema.PrimitiveOf(attr))) {
+        return Status::TypeError("record " + node.type + " attribute " + attr +
+                                 " has value " + v.ToString() + " incompatible with " +
+                                 PrimitiveTypeToString(schema.PrimitiveOf(attr)));
+      }
+    }
+  }
+  for (const auto& [attr, kids] : node.children) {
+    if (!schema.IsRecord(attr)) {
+      return Status::InvalidArgument("record " + node.type + " has children under " + attr +
+                                     " which is not a record type");
+    }
+    for (const RecordNode& k : kids) {
+      if (k.type != attr) {
+        return Status::InvalidArgument("child of type " + k.type + " stored under attribute " +
+                                       attr);
+      }
+      DYNAMITE_RETURN_NOT_OK(ValidateNode(k, schema));
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+size_t RecordForest::TotalRecords() const {
+  size_t n = 0;
+  for (const RecordNode& r : roots) n += CountRecords(r);
+  return n;
+}
+
+Status ValidateForest(const RecordForest& forest, const Schema& schema) {
+  for (const RecordNode& r : forest.roots) {
+    if (schema.IsNestedRecord(r.type)) {
+      return Status::InvalidArgument("nested record type " + r.type +
+                                     " cannot appear at the top level");
+    }
+    DYNAMITE_RETURN_NOT_OK(ValidateNode(r, schema));
+  }
+  return Status::OK();
+}
+
+}  // namespace dynamite

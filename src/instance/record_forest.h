@@ -1,0 +1,54 @@
+// RecordForest: the common in-memory form of a database instance.
+//
+// Relational, document, and graph instances all convert to/from a forest of
+// typed records (each record has primitive attribute values and, for
+// record-typed attributes, lists of child records). The instance-to-facts
+// conversion (§3.3) and its inverse BuildRecord operate on this form, so
+// each concrete instance kind only needs a RecordForest adapter.
+
+#ifndef DYNAMITE_INSTANCE_RECORD_FOREST_H_
+#define DYNAMITE_INSTANCE_RECORD_FOREST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/result.h"
+#include "value/value.h"
+
+namespace dynamite {
+
+/// One record instance: primitive attribute values plus child records per
+/// record-typed attribute.
+struct RecordNode {
+  std::string type;  ///< record type name in the schema
+  std::vector<std::pair<std::string, Value>> prims;  ///< attr -> value
+  std::vector<std::pair<std::string, std::vector<RecordNode>>> children;
+
+  /// Value of primitive attribute `attr`; Null if absent.
+  const Value& Prim(const std::string& attr) const;
+
+  /// Children under record-typed attribute `attr` (empty list if absent).
+  const std::vector<RecordNode>& Children(const std::string& attr) const;
+};
+
+/// A forest of top-level records, possibly of several record types.
+struct RecordForest {
+  std::vector<RecordNode> roots;
+
+  /// Roots of the given record type.
+  std::vector<const RecordNode*> RootsOfType(const std::string& type) const;
+
+  /// Total number of records (including nested ones).
+  size_t TotalRecords() const;
+};
+
+/// Validates that every record in the forest conforms to `schema`: known
+/// record types, every primitive attribute present with a type-compatible
+/// value, children only under record-typed attributes.
+Status ValidateForest(const RecordForest& forest, const Schema& schema);
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_INSTANCE_RECORD_FOREST_H_

@@ -1,0 +1,81 @@
+#include "instance/relational.h"
+
+namespace dynamite {
+
+Status RelationalInstance::DeclareTable(const Schema& schema, const std::string& record) {
+  if (!schema.IsRecord(record)) {
+    return Status::InvalidArgument("not a record type: " + record);
+  }
+  for (const std::string& attr : schema.AttrsOf(record)) {
+    if (!schema.IsPrimitive(attr)) {
+      return Status::InvalidArgument("relational table " + record +
+                                     " has non-primitive column " + attr);
+    }
+  }
+  tables_.emplace(record, Relation(record, schema.AttrsOf(record)));
+  return Status::OK();
+}
+
+Status RelationalInstance::Insert(const std::string& table, Tuple row) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("no table named " + table);
+  if (row.arity() != it->second.arity()) {
+    return Status::InvalidArgument("arity mismatch inserting into " + table);
+  }
+  it->second.Insert(std::move(row));
+  return Status::OK();
+}
+
+Result<const Relation*> RelationalInstance::Table(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<RecordForest> RelationalInstance::ToForest(const Schema& schema) const {
+  RecordForest forest;
+  for (const auto& [name, rel] : tables_) {
+    if (!schema.IsRecord(name)) {
+      return Status::InvalidArgument("table " + name + " not in schema");
+    }
+    const auto& attrs = schema.AttrsOf(name);
+    for (const Tuple& row : rel.tuples()) {
+      RecordNode node;
+      node.type = name;
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        node.prims.push_back({attrs[i], row[i]});
+      }
+      forest.roots.push_back(std::move(node));
+    }
+  }
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  return forest;
+}
+
+Result<RelationalInstance> RelationalInstance::FromForest(const RecordForest& forest,
+                                                          const Schema& schema) {
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  RelationalInstance inst;
+  for (const std::string& rec : schema.TopLevelRecords()) {
+    DYNAMITE_RETURN_NOT_OK(inst.DeclareTable(schema, rec));
+  }
+  for (const RecordNode& root : forest.roots) {
+    Tuple row;
+    for (const std::string& attr : schema.AttrsOf(root.type)) {
+      row.Append(root.Prim(attr));
+    }
+    DYNAMITE_RETURN_NOT_OK(inst.Insert(root.type, std::move(row)));
+  }
+  return inst;
+}
+
+std::string RelationalInstance::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : tables_) {
+    out += rel.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,45 @@
+// RelationalInstance: a flat SQL-style database — named tables of rows.
+
+#ifndef DYNAMITE_INSTANCE_RELATIONAL_H_
+#define DYNAMITE_INSTANCE_RELATIONAL_H_
+
+#include <map>
+#include <string>
+
+#include "instance/record_forest.h"
+#include "schema/schema.h"
+#include "util/result.h"
+#include "value/relation.h"
+
+namespace dynamite {
+
+/// A relational database instance: table name -> Relation.
+class RelationalInstance {
+ public:
+  /// Declares a table with the schema's column order for `record`.
+  Status DeclareTable(const Schema& schema, const std::string& record);
+
+  /// Inserts a row into `table` (columns in schema attribute order).
+  Status Insert(const std::string& table, Tuple row);
+
+  const std::map<std::string, Relation>& tables() const { return tables_; }
+
+  Result<const Relation*> Table(const std::string& name) const;
+
+  /// Lowers into a RecordForest (each row becomes a flat top-level record).
+  Result<RecordForest> ToForest(const Schema& schema) const;
+
+  /// Rebuilds a RelationalInstance from a forest of flat records.
+  static Result<RelationalInstance> FromForest(const RecordForest& forest,
+                                               const Schema& schema);
+
+  /// Multi-line printout of all tables.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> tables_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_INSTANCE_RELATIONAL_H_

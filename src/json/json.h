@@ -1,0 +1,107 @@
+// A small self-contained JSON document model, parser and printer.
+//
+// Document databases in this system are ingested from and emitted as JSON
+// (the paper's document schemas are JSON-like, §2). Only the features needed
+// by that use case are implemented: objects, arrays, strings, integers,
+// doubles, booleans, null; UTF-8 passthrough; standard escapes.
+
+#ifndef DYNAMITE_JSON_JSON_H_
+#define DYNAMITE_JSON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dynamite {
+
+/// Kind of a JSON node.
+enum class JsonKind : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kArray,
+  kObject,
+};
+
+/// A JSON value tree node.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // Ordered map: field order is preserved for deterministic output.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : kind_(JsonKind::kNull) {}
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool v);
+  static Json Int(int64_t v);
+  static Json Double(double v);
+  static Json String(std::string v);
+  static Json MakeArray();
+  static Json MakeObject();
+
+  JsonKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == JsonKind::kNull; }
+  bool is_bool() const { return kind_ == JsonKind::kBool; }
+  bool is_int() const { return kind_ == JsonKind::kInt; }
+  bool is_double() const { return kind_ == JsonKind::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == JsonKind::kString; }
+  bool is_array() const { return kind_ == JsonKind::kArray; }
+  bool is_object() const { return kind_ == JsonKind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const { return int_; }
+  double AsDouble() const { return is_int() ? static_cast<double>(int_) : double_; }
+  const std::string& AsString() const { return string_; }
+
+  const Array& AsArray() const { return array_; }
+  Array& AsArray() { return array_; }
+  const Object& AsObject() const { return object_; }
+  Object& AsObject() { return object_; }
+
+  /// Appends to an array node.
+  void Append(Json v) { array_.push_back(std::move(v)); }
+
+  /// Sets a field on an object node (appends; duplicate keys not checked).
+  void Set(std::string key, Json v) {
+    object_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Looks up a field on an object node; nullptr if absent.
+  const Json* Find(std::string_view key) const;
+
+  /// Compact single-line serialization.
+  std::string Dump() const;
+
+  /// Pretty-printed serialization with 2-space indentation.
+  std::string Pretty() const;
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+  /// Parses a JSON document from text.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, bool pretty) const;
+
+  JsonKind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_JSON_JSON_H_

@@ -1,0 +1,282 @@
+#include "migrate/facts.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace dynamite {
+
+std::string ParentColumn(const std::string& record) { return "_parent_" + record; }
+
+std::vector<std::string> FactSignature(const Schema& schema, const std::string& record) {
+  std::vector<std::string> attrs;
+  if (schema.IsNestedRecord(record)) attrs.push_back(ParentColumn(record));
+  for (const std::string& a : schema.AttrsOf(record)) attrs.push_back(a);
+  return attrs;
+}
+
+std::map<std::string, std::vector<std::string>> FactSignatures(const Schema& schema) {
+  std::map<std::string, std::vector<std::string>> sigs;
+  for (const std::string& rec : schema.RecordNames()) {
+    sigs[rec] = FactSignature(schema, rec);
+  }
+  return sigs;
+}
+
+namespace {
+
+Status EmitFacts(const RecordNode& node, const Schema& schema, uint64_t* next_id,
+                 const Value* parent_id, FactDatabase* db) {
+  Value my_id = Value::Id((*next_id)++);
+  Tuple row;
+  if (parent_id != nullptr) row.Append(*parent_id);
+  for (const std::string& attr : schema.AttrsOf(node.type)) {
+    if (schema.IsPrimitive(attr)) {
+      row.Append(node.Prim(attr));
+    } else {
+      row.Append(my_id);
+    }
+  }
+  DYNAMITE_RETURN_NOT_OK(db->AddFact(node.type, std::move(row)));
+  for (const std::string& attr : schema.AttrsOf(node.type)) {
+    if (!schema.IsRecord(attr)) continue;
+    for (const RecordNode& child : node.Children(attr)) {
+      DYNAMITE_RETURN_NOT_OK(EmitFacts(child, schema, next_id, &my_id, db));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
+                             uint64_t* next_id) {
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  FactDatabase db;
+  for (const std::string& rec : schema.RecordNames()) {
+    DYNAMITE_ASSIGN_OR_RETURN(Relation * rel,
+                              db.DeclareRelation(rec, FactSignature(schema, rec)));
+    (void)rel;
+  }
+  for (const RecordNode& root : forest.roots) {
+    DYNAMITE_RETURN_NOT_OK(EmitFacts(root, schema, next_id, nullptr, &db));
+  }
+  return db;
+}
+
+namespace {
+
+/// Hash index: child relation tuples grouped by parent column value.
+class ChildIndex {
+ public:
+  ChildIndex(const Relation* rel) {
+    if (rel == nullptr) return;
+    for (const Tuple& t : rel->tuples()) {
+      index_[t[0]].push_back(&t);
+    }
+  }
+
+  const std::vector<const Tuple*>& Lookup(const Value& parent) const {
+    static const std::vector<const Tuple*> kEmpty;
+    auto it = index_.find(parent);
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  std::unordered_map<Value, std::vector<const Tuple*>> index_;
+};
+
+struct Rebuilder {
+  const FactDatabase& db;
+  const Schema& schema;
+  std::map<std::string, ChildIndex> child_indexes;
+
+  const ChildIndex& IndexFor(const std::string& record) {
+    auto it = child_indexes.find(record);
+    if (it == child_indexes.end()) {
+      const Relation* rel = nullptr;
+      auto found = db.Find(record);
+      if (found.ok()) rel = found.ValueOrDie();
+      it = child_indexes.emplace(record, ChildIndex(rel)).first;
+    }
+    return it->second;
+  }
+
+  /// BuildRecord (§3.3): reconstructs one record from its fact tuple.
+  /// `offset` = 1 when the relation has a parent column.
+  RecordNode Build(const std::string& record, const Tuple& fact, size_t offset) {
+    RecordNode node;
+    node.type = record;
+    const auto& attrs = schema.AttrsOf(record);
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const Value& cell = fact[offset + i];
+      if (schema.IsPrimitive(attrs[i])) {
+        node.prims.push_back({attrs[i], cell});
+      } else {
+        std::vector<RecordNode> kids;
+        for (const Tuple* child : IndexFor(attrs[i]).Lookup(cell)) {
+          kids.push_back(Build(attrs[i], *child, 1));
+        }
+        node.children.push_back({attrs[i], std::move(kids)});
+      }
+    }
+    return node;
+  }
+};
+
+}  // namespace
+
+Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema) {
+  Rebuilder rb{db, schema, {}};
+  RecordForest forest;
+  for (const std::string& rec : schema.TopLevelRecords()) {
+    auto found = db.Find(rec);
+    if (!found.ok()) continue;  // absent relation: no records of this type
+    const Relation* rel = found.ValueOrDie();
+    size_t expected_arity = FactSignature(schema, rec).size();
+    if (rel->arity() != expected_arity) {
+      return Status::InvalidArgument("relation " + rec + " has arity " +
+                                     std::to_string(rel->arity()) + ", schema expects " +
+                                     std::to_string(expected_arity));
+    }
+    for (const Tuple& fact : rel->tuples()) {
+      forest.roots.push_back(rb.Build(rec, fact, 0));
+    }
+  }
+  return forest;
+}
+
+namespace {
+
+std::string CanonicalNode(const RecordNode& node) {
+  std::string out = node.type + "{";
+  std::vector<std::string> fields;
+  for (const auto& [attr, value] : node.prims) {
+    fields.push_back(attr + "=" + value.ToString());
+  }
+  std::sort(fields.begin(), fields.end());
+  for (const std::string& f : fields) {
+    out += f;
+    out += ";";
+  }
+  std::vector<std::string> child_groups;
+  for (const auto& [attr, kids] : node.children) {
+    std::vector<std::string> canon_kids;
+    canon_kids.reserve(kids.size());
+    for (const RecordNode& k : kids) canon_kids.push_back(CanonicalNode(k));
+    std::sort(canon_kids.begin(), canon_kids.end());
+    canon_kids.erase(std::unique(canon_kids.begin(), canon_kids.end()), canon_kids.end());
+    std::string group = attr + ":[";
+    for (const std::string& c : canon_kids) {
+      group += c;
+      group += ",";
+    }
+    group += "]";
+    child_groups.push_back(std::move(group));
+  }
+  std::sort(child_groups.begin(), child_groups.end());
+  for (const std::string& g : child_groups) {
+    out += g;
+    out += ";";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> CanonicalForest(const RecordForest& forest) {
+  std::vector<std::string> out;
+  out.reserve(forest.roots.size());
+  for (const RecordNode& r : forest.roots) out.push_back(CanonicalNode(r));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool ForestEquals(const RecordForest& a, const RecordForest& b) {
+  return CanonicalForest(a) == CanonicalForest(b);
+}
+
+namespace {
+
+/// Recursively produces the flattened rows for one record subtree.
+void FlattenNode(const RecordNode& node, const Schema& schema,
+                 std::vector<Value>* prefix, std::vector<std::vector<Value>>* out) {
+  size_t mark = prefix->size();
+  for (const std::string& attr : schema.PrimAttrbsOf(node.type)) {
+    prefix->push_back(node.Prim(attr));
+  }
+  // Cross product over nested collections (outer join: empty -> null pad).
+  std::vector<std::string> nested;
+  for (const std::string& attr : schema.AttrsOf(node.type)) {
+    if (schema.IsRecord(attr)) nested.push_back(attr);
+  }
+  if (nested.empty()) {
+    out->push_back(*prefix);
+    prefix->resize(mark);
+    return;
+  }
+  // For each nested attribute, compute the flattened sub-rows of each child
+  // and pad with nulls when there are none.
+  std::vector<std::vector<std::vector<Value>>> per_attr;  // attr -> rows
+  for (const std::string& attr : nested) {
+    std::vector<std::vector<Value>> sub_rows;
+    for (const RecordNode& child : node.Children(attr)) {
+      std::vector<Value> sub_prefix;
+      std::vector<std::vector<Value>> child_rows;
+      FlattenNode(child, schema, &sub_prefix, &child_rows);
+      for (auto& r : child_rows) sub_rows.push_back(std::move(r));
+    }
+    if (sub_rows.empty()) {
+      size_t width = schema.PrimAttrbsOfTree(attr).size();
+      sub_rows.push_back(std::vector<Value>(width, Value::Null()));
+    }
+    per_attr.push_back(std::move(sub_rows));
+  }
+  // Cross product of the per-attribute row sets.
+  std::vector<std::vector<Value>> acc = {{}};
+  for (const auto& sub_rows : per_attr) {
+    std::vector<std::vector<Value>> next;
+    for (const auto& base : acc) {
+      for (const auto& sub : sub_rows) {
+        std::vector<Value> row = base;
+        row.insert(row.end(), sub.begin(), sub.end());
+        next.push_back(std::move(row));
+      }
+    }
+    acc = std::move(next);
+  }
+  for (const auto& suffix : acc) {
+    std::vector<Value> row = *prefix;
+    row.insert(row.end(), suffix.begin(), suffix.end());
+    out->push_back(std::move(row));
+  }
+  prefix->resize(mark);
+}
+
+}  // namespace
+
+Result<Relation> FlattenForestView(const RecordForest& forest, const Schema& schema,
+                                   const std::string& top_record) {
+  if (!schema.IsRecord(top_record)) {
+    return Status::InvalidArgument("not a record type: " + top_record);
+  }
+  Relation view("flat_" + top_record, schema.PrimAttrbsOfTree(top_record));
+  for (const RecordNode& root : forest.roots) {
+    if (root.type != top_record) continue;
+    std::vector<Value> prefix;
+    std::vector<std::vector<Value>> rows;
+    FlattenNode(root, schema, &prefix, &rows);
+    for (auto& r : rows) view.Insert(Tuple(std::move(r)));
+  }
+  return view;
+}
+
+Result<Relation> FlattenView(const FactDatabase& db, const Schema& schema,
+                             const std::string& top_record) {
+  DYNAMITE_ASSIGN_OR_RETURN(RecordForest forest, BuildForest(db, schema));
+  // Keep only the requested tree's roots (BuildForest builds all).
+  return FlattenForestView(forest, schema, top_record);
+}
+
+}  // namespace dynamite

@@ -1,0 +1,33 @@
+#include "migrate/migrator.h"
+
+#include "util/timer.h"
+
+namespace dynamite {
+
+Result<RecordForest> Migrator::Migrate(const Program& program, const RecordForest& source,
+                                       MigrationStats* stats) const {
+  MigrationStats local;
+  local.source_records = source.TotalRecords();
+
+  Timer timer;
+  uint64_t next_id = 1;
+  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb, ToFacts(source, source_schema_, &next_id));
+  local.source_facts = edb.TotalFacts();
+  local.to_facts_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase idb,
+                            engine_.Eval(program, edb, FactSignatures(target_schema_)));
+  local.target_facts = idb.TotalFacts();
+  local.eval_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  DYNAMITE_ASSIGN_OR_RETURN(RecordForest target, BuildForest(idb, target_schema_));
+  local.target_records = target.TotalRecords();
+  local.build_seconds = timer.ElapsedSeconds();
+
+  if (stats != nullptr) *stats = local;
+  return target;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,54 @@
+// End-to-end data migration driver (the "Migration Framework" box of
+// Figure 1): source instance -> extensional facts -> Datalog evaluation ->
+// intensional facts -> target instance.
+
+#ifndef DYNAMITE_MIGRATE_MIGRATOR_H_
+#define DYNAMITE_MIGRATE_MIGRATOR_H_
+
+#include "datalog/ast.h"
+#include "datalog/engine.h"
+#include "instance/record_forest.h"
+#include "migrate/facts.h"
+#include "schema/schema.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+/// Statistics from one migration run.
+struct MigrationStats {
+  size_t source_records = 0;
+  size_t source_facts = 0;
+  size_t target_facts = 0;
+  size_t target_records = 0;
+  double to_facts_seconds = 0;
+  double eval_seconds = 0;
+  double build_seconds = 0;
+  double TotalSeconds() const { return to_facts_seconds + eval_seconds + build_seconds; }
+};
+
+/// Migrates a source instance (as a record forest) to the target schema by
+/// executing `program`; returns the target instance as a record forest.
+class Migrator {
+ public:
+  Migrator(Schema source_schema, Schema target_schema,
+           DatalogEngine::Options engine_options = DatalogEngine::Options())
+      : source_schema_(std::move(source_schema)),
+        target_schema_(std::move(target_schema)),
+        engine_(engine_options) {}
+
+  /// Runs the migration; fills `*stats` if non-null.
+  Result<RecordForest> Migrate(const Program& program, const RecordForest& source,
+                               MigrationStats* stats = nullptr) const;
+
+  const Schema& source_schema() const { return source_schema_; }
+  const Schema& target_schema() const { return target_schema_; }
+
+ private:
+  Schema source_schema_;
+  Schema target_schema_;
+  DatalogEngine engine_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_MIGRATE_MIGRATOR_H_

@@ -1,0 +1,210 @@
+#include "schema/schema.h"
+
+#include <cassert>
+
+namespace dynamite {
+
+const char* PrimitiveTypeToString(PrimitiveType t) {
+  switch (t) {
+    case PrimitiveType::kInt:
+      return "Int";
+    case PrimitiveType::kFloat:
+      return "Float";
+    case PrimitiveType::kBool:
+      return "Bool";
+    case PrimitiveType::kString:
+      return "String";
+  }
+  return "Unknown";
+}
+
+bool ValueMatchesType(const Value& v, PrimitiveType t) {
+  switch (t) {
+    case PrimitiveType::kInt:
+      return v.is_int();
+    case PrimitiveType::kFloat:
+      return v.is_float() || v.is_int();
+    case PrimitiveType::kBool:
+      return v.is_bool();
+    case PrimitiveType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+Status Schema::DefinePrimitive(const std::string& name, PrimitiveType type) {
+  if (defs_.count(name) > 0) {
+    return Status::AlreadyExists("schema name already defined: " + name);
+  }
+  TypeDef def;
+  def.is_record = false;
+  def.prim = type;
+  defs_[name] = std::move(def);
+  validated_ = false;
+  return Status::OK();
+}
+
+Status Schema::DefineRecord(const std::string& name, std::vector<std::string> attrs) {
+  if (defs_.count(name) > 0) {
+    return Status::AlreadyExists("schema name already defined: " + name);
+  }
+  TypeDef def;
+  def.is_record = true;
+  def.attrs = std::move(attrs);
+  defs_[name] = std::move(def);
+  record_order_.push_back(name);
+  validated_ = false;
+  return Status::OK();
+}
+
+Status Schema::Validate() {
+  parent_.clear();
+  top_level_.clear();
+  // Every attribute must be defined and owned by exactly one record.
+  for (const std::string& rec : record_order_) {
+    const TypeDef& def = defs_.at(rec);
+    for (const std::string& attr : def.attrs) {
+      auto it = defs_.find(attr);
+      if (it == defs_.end()) {
+        return Status::InvalidArgument("record " + rec + " references undefined name " + attr);
+      }
+      auto [pit, inserted] = parent_.emplace(attr, rec);
+      if (!inserted) {
+        return Status::InvalidArgument("name " + attr + " appears in two records (" +
+                                       pit->second + " and " + rec + ")");
+      }
+    }
+  }
+  // No recursive nesting: walking parents must terminate (parent_ is a forest
+  // by construction unless a record contains itself transitively).
+  for (const std::string& rec : record_order_) {
+    std::string cur = rec;
+    size_t steps = 0;
+    while (parent_.count(cur) > 0) {
+      cur = parent_.at(cur);
+      if (++steps > defs_.size()) {
+        return Status::InvalidArgument("recursive nesting detected at record " + rec);
+      }
+    }
+  }
+  for (const std::string& rec : record_order_) {
+    if (parent_.count(rec) == 0) top_level_.push_back(rec);
+  }
+  // Primitive attributes must belong to some record (orphans are suspicious).
+  for (const auto& [name, def] : defs_) {
+    if (!def.is_record && parent_.count(name) == 0) {
+      return Status::InvalidArgument("primitive attribute " + name +
+                                     " does not belong to any record");
+    }
+  }
+  validated_ = true;
+  return Status::OK();
+}
+
+bool Schema::IsDefined(const std::string& name) const { return defs_.count(name) > 0; }
+
+bool Schema::IsPrimitive(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() && !it->second.is_record;
+}
+
+bool Schema::IsRecord(const std::string& name) const {
+  auto it = defs_.find(name);
+  return it != defs_.end() && it->second.is_record;
+}
+
+PrimitiveType Schema::PrimitiveOf(const std::string& name) const {
+  assert(IsPrimitive(name));
+  return defs_.at(name).prim;
+}
+
+const std::vector<std::string>& Schema::AttrsOf(const std::string& name) const {
+  assert(IsRecord(name));
+  return defs_.at(name).attrs;
+}
+
+std::optional<std::string> Schema::Parent(const std::string& name) const {
+  auto it = parent_.find(name);
+  if (it == parent_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Schema::RecName(const std::string& attr) const {
+  auto it = parent_.find(attr);
+  assert(it != parent_.end());
+  return it->second;
+}
+
+bool Schema::IsNestedRecord(const std::string& name) const {
+  return IsRecord(name) && parent_.count(name) > 0;
+}
+
+std::vector<std::string> Schema::PrimAttrbs() const {
+  std::vector<std::string> out;
+  for (const std::string& rec : record_order_) {
+    for (const std::string& attr : defs_.at(rec).attrs) {
+      if (IsPrimitive(attr)) out.push_back(attr);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::PrimAttrbsOf(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const std::string& attr : AttrsOf(name)) {
+    if (IsPrimitive(attr)) out.push_back(attr);
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::PrimAttrbsOfTree(const std::string& name) const {
+  std::vector<std::string> out = PrimAttrbsOf(name);
+  for (const std::string& nested : NestedRecordsOf(name)) {
+    for (const std::string& attr : PrimAttrbsOf(nested)) out.push_back(attr);
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::NestedRecordsOf(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const std::string& attr : AttrsOf(name)) {
+    if (IsRecord(attr)) {
+      out.push_back(attr);
+      for (const std::string& deeper : NestedRecordsOf(attr)) out.push_back(deeper);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Schema::ChainToTopLevel(const std::string& name) const {
+  std::vector<std::string> chain;
+  std::string cur = name;
+  chain.push_back(cur);
+  while (auto p = Parent(cur)) {
+    cur = *p;
+    chain.push_back(cur);
+  }
+  // chain is bottom-up; reverse to get top-level first.
+  return {chain.rbegin(), chain.rend()};
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (const std::string& rec : record_order_) {
+    out += "S(" + rec + ") = {";
+    const auto& attrs = defs_.at(rec).attrs;
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += attrs[i];
+    }
+    out += "}\n";
+    for (const std::string& attr : attrs) {
+      if (IsPrimitive(attr)) {
+        out += "S(" + attr + ") = " + PrimitiveTypeToString(PrimitiveOf(attr)) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,124 @@
+// Unified schema representation (§3.1 of the paper).
+//
+// A schema S maps type names N to definitions T, where T is either a
+// primitive type or a set of named attributes:
+//
+//   Schema S ::= N -> T
+//   Type   T ::= tau | {N1, ..., Nn}
+//
+// Relational, document (JSON), and graph schemas all lower into this
+// representation (see schema_builder.h). Names are globally unique within a
+// schema, exactly as in the paper's formalism; `parent(N) = N'` holds when
+// N appears in S(N').
+
+#ifndef DYNAMITE_SCHEMA_SCHEMA_H_
+#define DYNAMITE_SCHEMA_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "value/value.h"
+
+namespace dynamite {
+
+/// Primitive attribute types supported by the schema formalism.
+enum class PrimitiveType : uint8_t {
+  kInt = 0,
+  kFloat,
+  kBool,
+  kString,
+};
+
+/// Human-readable name of a primitive type.
+const char* PrimitiveTypeToString(PrimitiveType t);
+
+/// True if `v`'s runtime kind is admissible for primitive type `t`.
+bool ValueMatchesType(const Value& v, PrimitiveType t);
+
+/// A database schema in the paper's unified formalism.
+///
+/// Build with DefinePrimitive / DefineRecord (or the typed builders in
+/// schema_builder.h), then call Validate() before use. Validate() computes
+/// the parent map and the top-level record list.
+class Schema {
+ public:
+  /// Declares attribute `name` to have primitive type `type`.
+  Status DefinePrimitive(const std::string& name, PrimitiveType type);
+
+  /// Declares record type `name` with the given attribute names. Attribute
+  /// names may refer to primitive attributes or (nested) record types; all
+  /// must be defined before Validate() is called.
+  Status DefineRecord(const std::string& name, std::vector<std::string> attrs);
+
+  /// Checks well-formedness: every referenced name defined, names globally
+  /// unique (enforced at definition), no attribute shared by two records, no
+  /// recursive nesting. Computes parent links and top-level records.
+  Status Validate();
+
+  bool IsDefined(const std::string& name) const;
+  bool IsPrimitive(const std::string& name) const;
+  bool IsRecord(const std::string& name) const;
+
+  /// The primitive type of attribute `name` (must be primitive).
+  PrimitiveType PrimitiveOf(const std::string& name) const;
+
+  /// The attribute list of record `name` (must be a record), in order.
+  const std::vector<std::string>& AttrsOf(const std::string& name) const;
+
+  /// The record that directly contains `name` (attribute or nested record),
+  /// i.e. the paper's parent(N); nullopt for top-level records.
+  std::optional<std::string> Parent(const std::string& name) const;
+
+  /// The record that directly contains primitive attribute `a` — the paper's
+  /// RecName(a).
+  const std::string& RecName(const std::string& attr) const;
+
+  /// True if `name` is a record nested inside another record.
+  bool IsNestedRecord(const std::string& name) const;
+
+  /// Top-level record types, in definition order.
+  const std::vector<std::string>& TopLevelRecords() const { return top_level_; }
+
+  /// All record type names, in definition order.
+  const std::vector<std::string>& RecordNames() const { return record_order_; }
+
+  /// The paper's PrimAttrbs(S): all primitive attributes, in order.
+  std::vector<std::string> PrimAttrbs() const;
+
+  /// Primitive attributes directly contained in record `name`.
+  std::vector<std::string> PrimAttrbsOf(const std::string& name) const;
+
+  /// Primitive attributes of record `name` and all its transitive nested
+  /// records.
+  std::vector<std::string> PrimAttrbsOfTree(const std::string& name) const;
+
+  /// Records transitively nested in `name` (excluding `name`), pre-order.
+  std::vector<std::string> NestedRecordsOf(const std::string& name) const;
+
+  /// The chain of records from the top-level ancestor of `name` down to
+  /// `name` itself (inclusive), e.g. [Univ, Admit] for Admit.
+  std::vector<std::string> ChainToTopLevel(const std::string& name) const;
+
+  /// Pretty textual rendering of the whole schema.
+  std::string ToString() const;
+
+ private:
+  struct TypeDef {
+    bool is_record = false;
+    PrimitiveType prim = PrimitiveType::kInt;
+    std::vector<std::string> attrs;
+  };
+
+  std::map<std::string, TypeDef> defs_;
+  std::map<std::string, std::string> parent_;
+  std::vector<std::string> record_order_;
+  std::vector<std::string> top_level_;
+  bool validated_ = false;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SCHEMA_SCHEMA_H_

@@ -1,0 +1,112 @@
+#include "schema/schema_builder.h"
+
+#include "util/strings.h"
+
+namespace dynamite {
+
+RelationalSchemaBuilder& RelationalSchemaBuilder::AddTable(
+    const std::string& name, std::vector<AttrDecl> columns) {
+  if (!status_.ok()) return *this;
+  std::vector<std::string> attr_names;
+  for (const AttrDecl& col : columns) {
+    status_ = schema_.DefinePrimitive(col.name, col.type);
+    if (!status_.ok()) return *this;
+    attr_names.push_back(col.name);
+  }
+  status_ = schema_.DefineRecord(name, std::move(attr_names));
+  return *this;
+}
+
+Result<Schema> RelationalSchemaBuilder::Build() {
+  DYNAMITE_RETURN_NOT_OK(status_);
+  DYNAMITE_RETURN_NOT_OK(schema_.Validate());
+  return schema_;
+}
+
+DocumentSchemaBuilder& DocumentSchemaBuilder::AddCollection(
+    const std::string& name, std::vector<AttrDecl> fields, const std::string& parent) {
+  decls_.push_back({name, {std::move(fields), parent}});
+  return *this;
+}
+
+Result<Schema> DocumentSchemaBuilder::Build() {
+  DYNAMITE_RETURN_NOT_OK(status_);
+  Schema schema;
+  // First pass: primitive fields; collect per-record attribute lists.
+  std::vector<std::pair<std::string, std::vector<std::string>>> records;
+  for (const auto& [name, rest] : decls_) {
+    const auto& [fields, parent] = rest;
+    (void)parent;
+    std::vector<std::string> attr_names;
+    for (const AttrDecl& f : fields) {
+      DYNAMITE_RETURN_NOT_OK(schema.DefinePrimitive(f.name, f.type));
+      attr_names.push_back(f.name);
+    }
+    records.push_back({name, std::move(attr_names)});
+  }
+  // Second pass: attach children to parents (a child collection is a
+  // record-typed attribute of its parent).
+  for (const auto& [name, rest] : decls_) {
+    const std::string& parent = rest.second;
+    if (parent.empty()) continue;
+    bool found = false;
+    for (auto& [rec, attrs] : records) {
+      if (rec == parent) {
+        attrs.push_back(name);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("document collection " + name +
+                                     " references unknown parent " + parent);
+    }
+  }
+  for (auto& [name, attrs] : records) {
+    DYNAMITE_RETURN_NOT_OK(schema.DefineRecord(name, std::move(attrs)));
+  }
+  DYNAMITE_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+GraphSchemaBuilder& GraphSchemaBuilder::AddNodeType(const std::string& name,
+                                                    std::vector<AttrDecl> properties) {
+  if (!status_.ok()) return *this;
+  std::vector<std::string> attr_names;
+  for (const AttrDecl& p : properties) {
+    status_ = schema_.DefinePrimitive(p.name, p.type);
+    if (!status_.ok()) return *this;
+    attr_names.push_back(p.name);
+  }
+  status_ = schema_.DefineRecord(name, std::move(attr_names));
+  return *this;
+}
+
+GraphSchemaBuilder& GraphSchemaBuilder::AddEdgeType(const std::string& name,
+                                                    std::vector<AttrDecl> properties,
+                                                    const std::string& attr_prefix) {
+  if (!status_.ok()) return *this;
+  std::string prefix = attr_prefix.empty() ? AsciiToLower(name) : attr_prefix;
+  std::vector<std::string> attr_names;
+  status_ = schema_.DefinePrimitive(SourceAttr(prefix), PrimitiveType::kInt);
+  if (!status_.ok()) return *this;
+  attr_names.push_back(SourceAttr(prefix));
+  status_ = schema_.DefinePrimitive(TargetAttr(prefix), PrimitiveType::kInt);
+  if (!status_.ok()) return *this;
+  attr_names.push_back(TargetAttr(prefix));
+  for (const AttrDecl& p : properties) {
+    status_ = schema_.DefinePrimitive(p.name, p.type);
+    if (!status_.ok()) return *this;
+    attr_names.push_back(p.name);
+  }
+  status_ = schema_.DefineRecord(name, std::move(attr_names));
+  return *this;
+}
+
+Result<Schema> GraphSchemaBuilder::Build() {
+  DYNAMITE_RETURN_NOT_OK(status_);
+  DYNAMITE_RETURN_NOT_OK(schema_.Validate());
+  return schema_;
+}
+
+}  // namespace dynamite

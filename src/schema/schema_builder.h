@@ -1,0 +1,90 @@
+// Typed front-ends that lower relational, document, and graph schemas into
+// the unified representation (Examples 1-3 of the paper, §3.1).
+
+#ifndef DYNAMITE_SCHEMA_SCHEMA_BUILDER_H_
+#define DYNAMITE_SCHEMA_SCHEMA_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+/// A (name, primitive type) pair used by all builders.
+struct AttrDecl {
+  std::string name;
+  PrimitiveType type;
+};
+
+/// Builds a relational schema: a set of flat tables (Example 2).
+class RelationalSchemaBuilder {
+ public:
+  /// Adds a table with the given columns. Column names must be unique across
+  /// the whole schema (qualify them, e.g. "user_id", where needed).
+  RelationalSchemaBuilder& AddTable(const std::string& name,
+                                    std::vector<AttrDecl> columns);
+
+  /// Produces the validated unified schema.
+  Result<Schema> Build();
+
+ private:
+  Status status_;
+  Schema schema_;
+};
+
+/// Builds a document schema with arbitrary nesting (Example 1).
+///
+/// Nested collections are expressed by calling AddCollection for the child
+/// with `parent` set; the child record becomes a record-typed attribute of
+/// the parent.
+class DocumentSchemaBuilder {
+ public:
+  /// Adds a (possibly nested) collection of documents.
+  /// `parent` empty means top-level.
+  DocumentSchemaBuilder& AddCollection(const std::string& name,
+                                       std::vector<AttrDecl> fields,
+                                       const std::string& parent = "");
+
+  Result<Schema> Build();
+
+ private:
+  Status status_;
+  // name -> (fields, parent); built in insertion order.
+  std::vector<std::pair<std::string, std::pair<std::vector<AttrDecl>, std::string>>> decls_;
+};
+
+/// Builds a property-graph schema: node types and edge types (Example 3).
+///
+/// Edge types get two implicit Int attributes, `<prefix>_source` and
+/// `<prefix>_target`, holding node identifiers.
+class GraphSchemaBuilder {
+ public:
+  /// Adds a node type with the given properties.
+  GraphSchemaBuilder& AddNodeType(const std::string& name,
+                                  std::vector<AttrDecl> properties);
+
+  /// Adds an edge type with the given properties. `attr_prefix` is used to
+  /// name the implicit source/target attributes; defaults to the lower-cased
+  /// edge name.
+  GraphSchemaBuilder& AddEdgeType(const std::string& name,
+                                  std::vector<AttrDecl> properties,
+                                  const std::string& attr_prefix = "");
+
+  Result<Schema> Build();
+
+  /// Name of the implicit source attribute of an edge type.
+  static std::string SourceAttr(const std::string& prefix) { return prefix + "_source"; }
+  /// Name of the implicit target attribute of an edge type.
+  static std::string TargetAttr(const std::string& prefix) { return prefix + "_target"; }
+
+ private:
+  Status status_;
+  Schema schema_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SCHEMA_SCHEMA_BUILDER_H_

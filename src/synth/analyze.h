@@ -1,0 +1,40 @@
+// Root-cause analysis and blocking-clause generation (§4.3, Algorithm 3).
+//
+// Given a failed model σ, Generalize(σ, ϕ) describes the family of models
+// that provably also fail: models that agree with σ on the equality /
+// disequality pattern between unknowns (Theorem 1: Datalog semantics is
+// invariant under injective variable renaming), that pin assignments to
+// head variables of attributes in the MDP ϕ, and that pin constants (the
+// filtering extension's constants are not renameable). The negation of each
+// Generalize(σ, ϕ) is a blocking clause (Theorem 2).
+
+#ifndef DYNAMITE_SYNTH_ANALYZE_H_
+#define DYNAMITE_SYNTH_ANALYZE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "solver/fd.h"
+#include "synth/encode.h"
+#include "synth/sketch.h"
+
+namespace dynamite {
+
+/// Generalize(σ, ϕ): the formula describing all models whose instantiation
+/// is equivalent (on the projection ϕ) to σ's. `phi` is a set of target
+/// attribute names; pass all head attributes to get the paper's plain
+/// Generalize(σ).
+FdExpr Generalize(const RuleSketch& sketch, const SketchEncoding& encoding,
+                  const SketchModel& model, const std::set<std::string>& phi);
+
+/// The Analyze procedure (Algorithm 3): conjunction of ¬Generalize(σ, ϕ)
+/// over every MDP ϕ in `mdps`. With an empty MDP set, falls back to a
+/// single blocking clause with all head-variable assignments pinned.
+FdExpr AnalyzeBlocking(const RuleSketch& sketch, const SketchEncoding& encoding,
+                       const SketchModel& model,
+                       const std::vector<std::vector<std::string>>& mdps);
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SYNTH_ANALYZE_H_

@@ -1,0 +1,76 @@
+#include "synth/attr_map.h"
+
+namespace dynamite {
+
+namespace {
+void CollectValues(const RecordNode& node, std::map<std::string, std::set<Value>>* out) {
+  for (const auto& [attr, value] : node.prims) {
+    (*out)[attr].insert(value);
+  }
+  for (const auto& [attr, kids] : node.children) {
+    for (const RecordNode& k : kids) CollectValues(k, out);
+  }
+}
+
+bool Subset(const std::set<Value>& small, const std::set<Value>& big) {
+  if (small.size() > big.size()) return false;
+  for (const Value& v : small) {
+    if (big.count(v) == 0) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::map<std::string, std::set<Value>> AttributeValueSets(const RecordForest& forest,
+                                                          const Schema& schema) {
+  std::map<std::string, std::set<Value>> out;
+  // Seed every primitive attribute so attributes absent from the example
+  // appear with an empty set.
+  for (const std::string& a : schema.PrimAttrbs()) out[a];
+  for (const RecordNode& r : forest.roots) CollectValues(r, &out);
+  return out;
+}
+
+Result<AttributeMapping> InferAttrMapping(const Schema& source, const Schema& target,
+                                          const Example& example) {
+  std::map<std::string, std::set<Value>> src_vals =
+      AttributeValueSets(example.input, source);
+  std::map<std::string, std::set<Value>> tgt_vals =
+      AttributeValueSets(example.output, target);
+
+  AttributeMapping psi;
+  for (const std::string& a : source.PrimAttrbs()) {
+    const std::set<Value>& base = src_vals.at(a);
+    std::set<std::string> aliases;
+    if (!base.empty()) {
+      for (const auto& [a2, vals] : src_vals) {
+        if (a2 == a || vals.empty()) continue;
+        if (Subset(vals, base)) aliases.insert(a2);
+      }
+      for (const auto& [a2, vals] : tgt_vals) {
+        if (vals.empty()) continue;
+        if (Subset(vals, base)) aliases.insert(a2);
+      }
+    }
+    psi[a] = std::move(aliases);
+  }
+  return psi;
+}
+
+std::string AttributeMappingToString(const AttributeMapping& psi) {
+  std::string out;
+  for (const auto& [a, aliases] : psi) {
+    if (aliases.empty()) continue;
+    out += a + " -> {";
+    bool first = true;
+    for (const std::string& a2 : aliases) {
+      if (!first) out += ", ";
+      out += a2;
+      first = false;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace dynamite

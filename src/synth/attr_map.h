@@ -1,0 +1,43 @@
+// Attribute-mapping inference (§4.1).
+//
+// Ψ maps each primitive attribute `a` of the source schema to the set of
+// attributes a' (source or target) whose example value set is contained in
+// a's:   a' ∈ Ψ(a)  ⟺  Π_{a'}(D) ⊆ Π_a(I)
+// where D is the example input I for source attributes and the example
+// output O for target attributes.
+
+#ifndef DYNAMITE_SYNTH_ATTR_MAP_H_
+#define DYNAMITE_SYNTH_ATTR_MAP_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "schema/schema.h"
+#include "synth/example.h"
+#include "util/result.h"
+#include "value/value.h"
+
+namespace dynamite {
+
+/// The attribute mapping Ψ: source primitive attribute -> alias set.
+using AttributeMapping = std::map<std::string, std::set<std::string>>;
+
+/// Value set Π_a per primitive attribute of a forest (recursing into nested
+/// records).
+std::map<std::string, std::set<Value>> AttributeValueSets(const RecordForest& forest,
+                                                          const Schema& schema);
+
+/// Infers Ψ from the example. Attributes with empty example value sets are
+/// never considered aliases (an empty set is vacuously contained in
+/// everything and would flood the mapping). Self-aliases (a ∈ Ψ(a)) are
+/// omitted, matching the paper's presentation.
+Result<AttributeMapping> InferAttrMapping(const Schema& source, const Schema& target,
+                                          const Example& example);
+
+/// Pretty printout ("id -> {uid}" per line, sorted).
+std::string AttributeMappingToString(const AttributeMapping& psi);
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SYNTH_ATTR_MAP_H_

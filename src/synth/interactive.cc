@@ -1,0 +1,123 @@
+#include "synth/interactive.h"
+
+#include "migrate/facts.h"
+#include "migrate/migrator.h"
+
+namespace dynamite {
+
+InteractiveSynthesizer::InteractiveSynthesizer(Schema source, Schema target,
+                                               SynthesisOptions synth_options,
+                                               InteractiveOptions options)
+    : source_(std::move(source)),
+      target_(std::move(target)),
+      synth_options_(synth_options),
+      options_(options) {}
+
+namespace {
+
+/// Enumerates subsets of pool roots in increasing size order, invoking `fn`
+/// until it returns true or the budget is exhausted.
+void ForEachSubset(const RecordForest& pool, size_t max_size, size_t budget,
+                   const std::function<bool(const RecordForest&)>& fn) {
+  size_t n = pool.roots.size();
+  size_t used = 0;
+  // Standard lexicographic combination enumeration, size 1 upward (the
+  // paper enumerates test inputs in increasing order of size).
+  for (size_t k = 1; k <= max_size && k <= n; ++k) {
+    std::vector<size_t> pick(k);
+    for (size_t i = 0; i < k; ++i) pick[i] = i;
+    bool exhausted = false;
+    while (!exhausted) {
+      RecordForest subset;
+      for (size_t i : pick) subset.roots.push_back(pool.roots[i]);
+      if (++used > budget) return;
+      if (fn(subset)) return;
+      // Advance to the next combination.
+      size_t i = k;
+      for (;;) {
+        if (i == 0) {
+          exhausted = true;
+          break;
+        }
+        --i;
+        if (pick[i] != i + n - k) {
+          ++pick[i];
+          for (size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
+                                                      const RecordForest& validation_pool,
+                                                      const Oracle& oracle) const {
+  InteractiveResult out;
+  Migrator migrator(source_, target_);
+
+  for (size_t round = 0; round < options_.max_rounds; ++round) {
+    ++out.rounds;
+    Synthesizer synth(source_, target_, synth_options_);
+    DYNAMITE_ASSIGN_OR_RETURN(std::vector<Program> programs,
+                              synth.SynthesizeDistinct(example, options_.max_programs));
+    if (programs.empty()) {
+      return Status::SynthesisFailure("no consistent program");
+    }
+    if (programs.size() == 1) {
+      out.unique = true;
+      DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
+      out.result = std::move(result);
+      return out;
+    }
+
+    // Search a distinguishing input between the first program and any
+    // alternative.
+    const Program& p1 = programs[0];
+    bool resolved_this_round = false;
+    for (size_t alt = 1; alt < programs.size() && !resolved_this_round; ++alt) {
+      const Program& p2 = programs[alt];
+      RecordForest distinguishing;
+      bool found = false;
+      ForEachSubset(validation_pool, options_.max_query_records,
+                    options_.max_candidate_inputs,
+                    [&](const RecordForest& candidate) {
+                      auto o1 = migrator.Migrate(p1, candidate);
+                      auto o2 = migrator.Migrate(p2, candidate);
+                      if (!o1.ok() || !o2.ok()) return false;
+                      if (!ForestEquals(*o1, *o2)) {
+                        distinguishing = candidate;
+                        found = true;
+                        return true;
+                      }
+                      return false;
+                    });
+      if (found) {
+        ++out.queries;
+        DYNAMITE_ASSIGN_OR_RETURN(RecordForest answer, oracle(distinguishing));
+        Example extra;
+        extra.input = distinguishing;
+        extra.output = answer;
+        example.Merge(extra);
+        resolved_this_round = true;
+      }
+    }
+    if (!resolved_this_round) {
+      // Candidates are observationally equivalent on the validation pool:
+      // accept the first program.
+      out.unique = false;
+      DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
+      out.result = std::move(result);
+      return out;
+    }
+  }
+  // Round budget exhausted: synthesize from the accumulated example.
+  Synthesizer synth(source_, target_, synth_options_);
+  DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
+  out.result = std::move(result);
+  return out;
+}
+
+}  // namespace dynamite

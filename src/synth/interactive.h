@@ -1,0 +1,58 @@
+// Interactive mode (§5 and Appendix B).
+//
+// When several programs are consistent with the example, Dynamite searches
+// for a small *distinguishing input* — a subset of validation records on
+// which two candidate programs disagree — asks the user (an Oracle callback
+// here) for the corresponding output, merges the answer into the example,
+// and re-synthesizes until the ambiguity is resolved.
+
+#ifndef DYNAMITE_SYNTH_INTERACTIVE_H_
+#define DYNAMITE_SYNTH_INTERACTIVE_H_
+
+#include <functional>
+
+#include "synth/synthesizer.h"
+
+namespace dynamite {
+
+/// Answers a distinguishing query: given a source input, returns the target
+/// output the user expects. In tests and benchmarks this is the golden
+/// program run by a Migrator.
+using Oracle = std::function<Result<RecordForest>(const RecordForest& input)>;
+
+struct InteractiveOptions {
+  size_t max_rounds = 8;           ///< maximum user interactions
+  size_t max_programs = 4;         ///< ambiguity probe width per round
+  size_t max_query_records = 3;    ///< distinguishing input size cap
+  size_t max_candidate_inputs = 2000;  ///< enumeration budget per round
+};
+
+struct InteractiveResult {
+  SynthesisResult result;
+  size_t rounds = 0;   ///< rounds executed (>= 1)
+  size_t queries = 0;  ///< oracle questions asked
+  bool unique = false;  ///< true if ambiguity was fully resolved
+};
+
+/// Runs interactive synthesis: `initial` is the starting example,
+/// `validation_pool` a forest of source records distinguishing inputs are
+/// drawn from (Appendix B samples it from the source database).
+class InteractiveSynthesizer {
+ public:
+  InteractiveSynthesizer(Schema source, Schema target,
+                         SynthesisOptions synth_options = SynthesisOptions(),
+                         InteractiveOptions options = InteractiveOptions());
+
+  Result<InteractiveResult> Run(Example initial, const RecordForest& validation_pool,
+                                const Oracle& oracle) const;
+
+ private:
+  Schema source_;
+  Schema target_;
+  SynthesisOptions synth_options_;
+  InteractiveOptions options_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SYNTH_INTERACTIVE_H_

@@ -1,0 +1,77 @@
+#include "synth/mdp.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace dynamite {
+
+namespace {
+
+std::string KeyOf(const std::vector<std::string>& attrs) {
+  std::string key;
+  for (const std::string& a : attrs) {
+    key += a;
+    key += '|';
+  }
+  return key;
+}
+
+bool ProjectionsEqual(const Relation& actual, const Relation& expected,
+                      const std::vector<std::string>& attrs) {
+  auto pa = actual.Project(attrs);
+  auto pe = expected.Project(attrs);
+  if (!pa.ok() || !pe.ok()) return true;  // attribute missing: treat as equal
+  return pa.ValueOrDie().SetEquals(pe.ValueOrDie());
+}
+
+bool IsSubset(const std::vector<std::string>& small, const std::vector<std::string>& big) {
+  // Both sorted.
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> MDPSet(const Relation& actual,
+                                             const Relation& expected,
+                                             const MdpOptions& options) {
+  std::vector<std::vector<std::string>> delta;
+  std::set<std::string> visited;
+  std::deque<std::vector<std::string>> queue;
+
+  const std::vector<std::string>& attrs = actual.attributes();
+  for (const std::string& a : attrs) {
+    std::vector<std::string> single = {a};
+    queue.push_back(single);
+    visited.insert(KeyOf(single));
+  }
+
+  size_t expansions = 0;
+  while (!queue.empty()) {
+    if (++expansions > options.max_expansions) break;
+    std::vector<std::string> level = queue.front();
+    queue.pop_front();
+    if (ProjectionsEqual(actual, expected, level)) {
+      if (level.size() >= options.max_size) continue;
+      for (const std::string& a : attrs) {
+        if (std::binary_search(level.begin(), level.end(), a)) continue;
+        std::vector<std::string> extended = level;
+        extended.insert(std::upper_bound(extended.begin(), extended.end(), a), a);
+        std::string key = KeyOf(extended);
+        if (visited.insert(key).second) queue.push_back(std::move(extended));
+      }
+    } else {
+      bool dominated = false;
+      for (const auto& existing : delta) {
+        if (IsSubset(existing, level)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) delta.push_back(std::move(level));
+    }
+  }
+  return delta;
+}
+
+}  // namespace dynamite

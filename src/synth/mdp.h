@@ -1,0 +1,36 @@
+// Minimal distinguishing projections (§4.3, Definition 1, Algorithm 4).
+//
+// A set of attributes A is an MDP for program P and example (I, O) when
+// Π_A(O) ≠ Π_A(P(I)) and every proper subset projects equally. MDPs are
+// computed on the flattened ("universal relation") view of one target
+// record tree, so differences in nesting structure are visible.
+
+#ifndef DYNAMITE_SYNTH_MDP_H_
+#define DYNAMITE_SYNTH_MDP_H_
+
+#include <string>
+#include <vector>
+
+#include "value/relation.h"
+
+namespace dynamite {
+
+/// Limits for the BFS over attribute subsets (the search is exponential in
+/// the worst case; the paper observes MDP analysis itself can become the
+/// bottleneck on adversarial outputs, cf. Retina-2/Soccer-2 in §6.2).
+struct MdpOptions {
+  size_t max_size = 3;           ///< largest projection considered
+  size_t max_expansions = 5000;  ///< BFS queue pop budget
+};
+
+/// Computes the set of minimal distinguishing projections between the
+/// actual output view and the expected output view (same attribute lists).
+/// Returns an empty set when no MDP is found within the limits (callers
+/// fall back to the non-MDP Generalize).
+std::vector<std::vector<std::string>> MDPSet(const Relation& actual,
+                                             const Relation& expected,
+                                             const MdpOptions& options = MdpOptions());
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SYNTH_MDP_H_

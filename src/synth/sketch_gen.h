@@ -1,0 +1,51 @@
+// Sketch generation (§4.2, Algorithm 2, Figures 5 and 6).
+//
+// For each top-level record type N of the target schema we build one rule
+// sketch: GenIntensionalPreds produces the fixed head (one predicate for N
+// and one per transitively nested record, linked by connector variables);
+// the body contains one copy of the extensional predicate chain of
+// RecName(a) for every (source attribute a, target alias) pair in Ψ; hole
+// domains combine head variables and body attribute variables per the
+// aliasing rules, plus (optionally) constants for the filtering extension.
+
+#ifndef DYNAMITE_SYNTH_SKETCH_GEN_H_
+#define DYNAMITE_SYNTH_SKETCH_GEN_H_
+
+#include <vector>
+
+#include "schema/schema.h"
+#include "synth/attr_map.h"
+#include "synth/sketch.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+/// Options controlling sketch generation.
+struct SketchGenOptions {
+  /// Filtering extension (§5): include constants from the output example in
+  /// hole domains.
+  bool enable_filtering = false;
+  /// Cap on constants added per hole.
+  size_t max_constants_per_hole = 4;
+};
+
+/// Generates the rule sketch for top-level target record `target_record`
+/// (the paper's GenRuleSketch). `output_value_sets` supplies candidate
+/// constants per target attribute for the filtering extension (pass the
+/// result of AttributeValueSets on the example output; ignored unless
+/// filtering is enabled).
+Result<RuleSketch> GenRuleSketch(
+    const AttributeMapping& psi, const Schema& source, const Schema& target,
+    const std::string& target_record,
+    const std::map<std::string, std::set<Value>>& output_value_sets,
+    const SketchGenOptions& options = SketchGenOptions());
+
+/// Generates sketches for every top-level target record (SketchGen).
+Result<std::vector<RuleSketch>> SketchGen(
+    const AttributeMapping& psi, const Schema& source, const Schema& target,
+    const std::map<std::string, std::set<Value>>& output_value_sets,
+    const SketchGenOptions& options = SketchGenOptions());
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_SYNTH_SKETCH_GEN_H_

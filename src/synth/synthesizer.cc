@@ -1,0 +1,258 @@
+#include "synth/synthesizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/simplify.h"
+#include "migrate/facts.h"
+#include "solver/fd.h"
+#include "synth/analyze.h"
+#include "synth/encode.h"
+#include "synth/sketch_gen.h"
+#include "util/timer.h"
+
+namespace dynamite {
+
+namespace {
+
+/// Per-target-record synthesis context: enumerates consistent rules.
+class RuleSynthesizer {
+ public:
+  RuleSynthesizer(const Schema& source, const Schema& target, RuleSketch sketch,
+                  const FactDatabase& edb, const Example& example,
+                  const SynthesisOptions& options)
+      : source_(source),
+        target_(target),
+        sketch_(std::move(sketch)),
+        edb_(edb),
+        options_(options) {
+    // Expected output restricted to this rule's record tree.
+    for (const RecordNode& root : example.output.roots) {
+      if (root.type == sketch_.target_record) expected_.roots.push_back(root);
+    }
+    expected_canon_ = CanonicalForest(expected_);
+    // IDB signatures for this tree only.
+    idb_sigs_[sketch_.target_record] = FactSignature(target_, sketch_.target_record);
+    for (const std::string& nested : target_.NestedRecordsOf(sketch_.target_record)) {
+      idb_sigs_[nested] = FactSignature(target_, nested);
+    }
+  }
+
+  Status Init() {
+    DYNAMITE_ASSIGN_OR_RETURN(SketchEncoding enc, EncodeSketch(sketch_, &solver_));
+    encoding_ = std::move(enc);
+    DYNAMITE_ASSIGN_OR_RETURN(Relation expected_flat,
+                              FlattenForestView(expected_, target_, sketch_.target_record));
+    expected_flat_ = std::move(expected_flat);
+    return Status::OK();
+  }
+
+  /// Returns the next rule consistent with the example; kSynthesisFailure
+  /// when the search space is exhausted; kTimeout on budget exhaustion.
+  /// `deadline_seconds` is the remaining wall-clock budget.
+  Result<Rule> Next(double deadline_seconds) {
+    Timer timer;
+    if (have_last_success_) {
+      // Continue the enumeration past the last success.
+      DYNAMITE_RETURN_NOT_OK(
+          solver_.AddConstraint(FdExpr::Not(ModelEquality(encoding_, last_success_))));
+      have_last_success_ = false;
+    }
+    DatalogEngine::Options eval_opts;
+    eval_opts.timeout_seconds = options_.eval_timeout_seconds;
+    eval_opts.max_derived_tuples = options_.eval_max_tuples;
+    DatalogEngine engine(eval_opts);
+
+    for (;;) {
+      if (timer.ElapsedSeconds() > deadline_seconds) {
+        return Status::Timeout("synthesis timeout for record " + sketch_.target_record);
+      }
+      if (iterations_ >= options_.max_iterations) {
+        return Status::Timeout("iteration budget exhausted");
+      }
+      DYNAMITE_ASSIGN_OR_RETURN(bool sat, solver_.Solve());
+      if (!sat) {
+        return Status::SynthesisFailure("no Datalog program consistent with the example for " +
+                                        sketch_.target_record);
+      }
+      ++iterations_;
+      if (debug_ && iterations_ % 200 == 0) {
+        std::fprintf(stderr, "[synth %s] iters=%zu t=%.1fs clauses=%zu conflicts=%lld\n",
+                     sketch_.target_record.c_str(), iterations_, timer.ElapsedSeconds(),
+                     solver_.num_clauses(),
+                     static_cast<long long>(solver_.num_conflicts()));
+      }
+      SketchModel model = ExtractModel(encoding_, solver_);
+      DYNAMITE_ASSIGN_OR_RETURN(Rule rule, Instantiate(sketch_, model));
+
+      Program candidate;
+      candidate.rules.push_back(rule);
+      auto eval = engine.Eval(candidate, edb_, idb_sigs_);
+      if (!eval.ok()) {
+        if (eval.status().code() == StatusCode::kTimeout) {
+          // Candidate too expensive to evaluate: block exactly this model.
+          DYNAMITE_RETURN_NOT_OK(
+              solver_.AddConstraint(FdExpr::Not(ModelEquality(encoding_, model))));
+          continue;
+        }
+        return eval.status();
+      }
+      DYNAMITE_ASSIGN_OR_RETURN(RecordForest actual, BuildForest(*eval, target_));
+      if (CanonicalForest(actual) == expected_canon_) {
+        last_success_ = model;
+        have_last_success_ = true;
+        return rule;
+      }
+
+      // Failed: add blocking clause(s).
+      if (!options_.use_analysis) {
+        DYNAMITE_RETURN_NOT_OK(
+            solver_.AddConstraint(FdExpr::Not(ModelEquality(encoding_, model))));
+        continue;
+      }
+      std::vector<std::vector<std::string>> mdps;
+      if (options_.use_mdp) {
+        auto actual_flat = FlattenForestView(actual, target_, sketch_.target_record);
+        if (actual_flat.ok()) {
+          mdps = MDPSet(actual_flat.ValueOrDie(), expected_flat_, options_.mdp);
+        }
+      }
+      DYNAMITE_RETURN_NOT_OK(
+          solver_.AddConstraint(AnalyzeBlocking(sketch_, encoding_, model, mdps)));
+    }
+  }
+
+  size_t iterations() const { return iterations_; }
+  double search_space() const { return sketch_.SearchSpaceSize(); }
+  const std::string& target_record() const { return sketch_.target_record; }
+
+ private:
+  const Schema& source_;
+  const Schema& target_;
+  RuleSketch sketch_;
+  const FactDatabase& edb_;
+  const SynthesisOptions& options_;
+
+  RecordForest expected_;
+  std::vector<std::string> expected_canon_;
+  Relation expected_flat_;
+  std::map<std::string, std::vector<std::string>> idb_sigs_;
+
+  FdSolver solver_;
+  SketchEncoding encoding_;
+  size_t iterations_ = 0;
+  SketchModel last_success_;
+  bool have_last_success_ = false;
+  bool debug_ = std::getenv("DYNAMITE_DEBUG") != nullptr;
+};
+
+/// Shared setup: Ψ, sketches, EDB facts.
+struct Setup {
+  AttributeMapping psi;
+  std::vector<RuleSketch> sketches;
+  FactDatabase edb;
+};
+
+Result<Setup> Prepare(const Schema& source, const Schema& target, const Example& example,
+                      const SynthesisOptions& options) {
+  Setup setup;
+  DYNAMITE_ASSIGN_OR_RETURN(AttributeMapping psi, InferAttrMapping(source, target, example));
+  setup.psi = std::move(psi);
+  SketchGenOptions gen_options;
+  gen_options.enable_filtering = options.enable_filtering;
+  gen_options.max_constants_per_hole = options.max_constants_per_hole;
+  DYNAMITE_ASSIGN_OR_RETURN(
+      std::vector<RuleSketch> sketches,
+      SketchGen(setup.psi, source, target, AttributeValueSets(example.output, target),
+                gen_options));
+  setup.sketches = std::move(sketches);
+  uint64_t next_id = 1;
+  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb, ToFacts(example.input, source, &next_id));
+  setup.edb = std::move(edb);
+  return setup;
+}
+
+}  // namespace
+
+Synthesizer::Synthesizer(Schema source, Schema target, SynthesisOptions options)
+    : source_(std::move(source)), target_(std::move(target)), options_(options) {}
+
+Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
+  Timer total;
+  DYNAMITE_ASSIGN_OR_RETURN(Setup setup, Prepare(source_, target_, example, options_));
+
+  SynthesisResult result;
+  result.psi = setup.psi;
+  for (RuleSketch& sketch : setup.sketches) {
+    Timer rule_timer;
+    RuleSynthesizer rs(source_, target_, std::move(sketch), setup.edb, example, options_);
+    DYNAMITE_RETURN_NOT_OK(rs.Init());
+    double remaining = options_.timeout_seconds - total.ElapsedSeconds();
+    if (remaining <= 0) return Status::Timeout("synthesis timeout");
+    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs.Next(remaining));
+    result.raw_program.rules.push_back(rule);
+    RuleStats stats;
+    stats.target_record = rs.target_record();
+    stats.search_space = rs.search_space();
+    stats.iterations = rs.iterations();
+    stats.seconds = rule_timer.ElapsedSeconds();
+    result.rule_stats.push_back(std::move(stats));
+    result.search_space *= rs.search_space();
+    result.iterations += rs.iterations();
+  }
+  result.program = SimplifyProgram(result.raw_program);
+  for (size_t i = 0; i < result.program.rules.size(); ++i) {
+    result.rule_stats[i].body_predicates = result.program.rules[i].body.size();
+  }
+  result.seconds = total.ElapsedSeconds();
+  return result;
+}
+
+Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& example,
+                                                             size_t limit) const {
+  Timer total;
+  DYNAMITE_ASSIGN_OR_RETURN(Setup setup, Prepare(source_, target_, example, options_));
+
+  // First program, keeping each rule's enumerator alive.
+  std::vector<std::unique_ptr<RuleSynthesizer>> enumerators;
+  Program first;
+  for (RuleSketch& sketch : setup.sketches) {
+    auto rs = std::make_unique<RuleSynthesizer>(source_, target_, std::move(sketch),
+                                                setup.edb, example, options_);
+    DYNAMITE_RETURN_NOT_OK(rs->Init());
+    double remaining = options_.timeout_seconds - total.ElapsedSeconds();
+    if (remaining <= 0) return Status::Timeout("synthesis timeout");
+    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs->Next(remaining));
+    first.rules.push_back(rule);
+    enumerators.push_back(std::move(rs));
+  }
+  std::vector<Program> programs = {first};
+
+  // Alternative programs: vary one rule at a time.
+  for (size_t i = 0; i < enumerators.size() && programs.size() < limit; ++i) {
+    for (;;) {
+      if (programs.size() >= limit) break;
+      double remaining = options_.timeout_seconds - total.ElapsedSeconds();
+      if (remaining <= 0) break;
+      auto alt = enumerators[i]->Next(remaining);
+      if (!alt.ok()) break;  // exhausted or timed out: move to next rule
+      // Keep only semantically new variants.
+      if (RuleEquivalent(*alt, first.rules[i])) continue;
+      bool duplicate = false;
+      for (const Program& p : programs) {
+        if (RuleEquivalent(p.rules[i], *alt)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      Program variant = first;
+      variant.rules[i] = *alt;
+      programs.push_back(std::move(variant));
+    }
+  }
+  return programs;
+}
+
+}  // namespace dynamite

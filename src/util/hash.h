@@ -1,0 +1,20 @@
+// Hash combining helpers (boost-style) used by tuple/value containers.
+
+#ifndef DYNAMITE_UTIL_HASH_H_
+#define DYNAMITE_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dynamite {
+
+/// Mixes `v`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t* seed, const T& v) {
+  *seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_HASH_H_

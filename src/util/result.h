@@ -1,0 +1,79 @@
+// Result<T>: value-or-Status, the companion of Status for functions that
+// produce a value on success.
+
+#ifndef DYNAMITE_UTIL_RESULT_H_
+#define DYNAMITE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dynamite {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<int> ParsePort(const std::string& s);
+///   ...
+///   auto r = ParsePort(arg);
+///   if (!r.ok()) return r.status();
+///   int port = r.ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True if a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+
+  /// Moves the value out; must only be called when ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Dereference convenience accessors (must be ok()).
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+/// Propagates an error from a Result-returning subexpression, binding the
+/// value into `lhs` on success.
+#define DYNAMITE_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto DYNAMITE_CONCAT_(_res_, __LINE__) = (expr);           \
+  if (!DYNAMITE_CONCAT_(_res_, __LINE__).ok())               \
+    return DYNAMITE_CONCAT_(_res_, __LINE__).status();       \
+  lhs = std::move(DYNAMITE_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define DYNAMITE_CONCAT_(a, b) DYNAMITE_CONCAT_IMPL_(a, b)
+#define DYNAMITE_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_RESULT_H_

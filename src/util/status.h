@@ -1,0 +1,124 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Follows the Arrow/RocksDB idiom: fallible operations return a Status (or a
+// Result<T>, see result.h) instead of throwing. A Status is cheap to copy in
+// the OK case (single pointer-sized tag) and carries a code + message
+// otherwise.
+
+#ifndef DYNAMITE_UTIL_STATUS_H_
+#define DYNAMITE_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dynamite {
+
+/// Error category for a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kTypeError,
+  kUnsat,          ///< a constraint system has no model
+  kTimeout,        ///< a bounded search exhausted its budget
+  kSynthesisFailure,  ///< no Datalog program consistent with the examples
+};
+
+/// Human-readable name of a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: OK or an error code with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsat(std::string msg) {
+    return Status(StatusCode::kUnsat, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status SynthesisFailure(std::string msg) {
+    return Status(StatusCode::kSynthesisFailure, std::move(msg));
+  }
+
+  /// True if this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message (empty for success).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+/// Propagates an error Status from a subexpression.
+#define DYNAMITE_RETURN_NOT_OK(expr)              \
+  do {                                            \
+    ::dynamite::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_STATUS_H_

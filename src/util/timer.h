@@ -1,0 +1,34 @@
+// Wall-clock stopwatch used by the synthesis loop (timeouts) and the
+// benchmark harnesses (reported timings).
+
+#ifndef DYNAMITE_UTIL_TIMER_H_
+#define DYNAMITE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dynamite {
+
+/// Monotonic stopwatch; starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_TIMER_H_

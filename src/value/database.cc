@@ -1,0 +1,73 @@
+#include "value/database.h"
+
+namespace dynamite {
+
+Result<Relation*> FactDatabase::DeclareRelation(const std::string& name,
+                                                std::vector<std::string> attributes) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.attributes() != attributes) {
+      return Status::AlreadyExists("relation " + name +
+                                   " already declared with a different signature");
+    }
+    return &it->second;
+  }
+  auto [ins, ok] = relations_.emplace(name, Relation(name, std::move(attributes)));
+  (void)ok;
+  return &ins->second;
+}
+
+Result<const Relation*> FactDatabase::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation named " + name);
+  return &it->second;
+}
+
+Result<Relation*> FactDatabase::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return Status::NotFound("no relation named " + name);
+  return &it->second;
+}
+
+Status FactDatabase::AddFact(const std::string& relation, Tuple t) {
+  DYNAMITE_ASSIGN_OR_RETURN(Relation * rel, FindMutable(relation));
+  if (t.arity() != rel->arity()) {
+    return Status::InvalidArgument("arity mismatch adding fact to " + relation);
+  }
+  rel->Insert(std::move(t));
+  return Status::OK();
+}
+
+std::vector<std::string> FactDatabase::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t FactDatabase::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+bool FactDatabase::SetEquals(const FactDatabase& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (const auto& [name, rel] : relations_) {
+    auto it = other.relations_.find(name);
+    if (it == other.relations_.end()) return false;
+    if (!rel.SetEquals(it->second)) return false;
+  }
+  return true;
+}
+
+std::string FactDatabase::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : relations_) {
+    out += rel.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,53 @@
+// FactDatabase: a collection of named relations — the set of ground Datalog
+// facts that the evaluator (src/datalog) reads extensional relations from and
+// writes intensional relations into.
+
+#ifndef DYNAMITE_VALUE_DATABASE_H_
+#define DYNAMITE_VALUE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "value/relation.h"
+
+namespace dynamite {
+
+/// A set of named relations (Datalog fact base).
+class FactDatabase {
+ public:
+  /// Creates (or returns the existing) relation with the given signature.
+  /// Returns an error if a relation with the same name but a different
+  /// signature already exists.
+  Result<Relation*> DeclareRelation(const std::string& name,
+                                    std::vector<std::string> attributes);
+
+  /// The relation with the given name, or error if absent.
+  Result<const Relation*> Find(const std::string& name) const;
+  Result<Relation*> FindMutable(const std::string& name);
+
+  bool Has(const std::string& name) const { return relations_.count(name) > 0; }
+
+  /// Adds a fact to the named relation (which must exist).
+  Status AddFact(const std::string& relation, Tuple t);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  /// Total number of tuples across relations.
+  size_t TotalFacts() const;
+
+  /// Set equality: same relation names, each relation set-equal.
+  bool SetEquals(const FactDatabase& other) const;
+
+  /// Canonical printout of all relations.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;  // ordered for determinism
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_VALUE_DATABASE_H_

@@ -1,0 +1,61 @@
+#include "value/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace dynamite {
+
+bool Relation::Insert(Tuple t) {
+  assert(t.arity() == arity());
+  auto [it, inserted] = index_.insert(t);
+  (void)it;
+  if (inserted) tuples_.push_back(std::move(t));
+  return inserted;
+}
+
+Result<size_t> Relation::AttributeIndex(const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return i;
+  }
+  return Status::NotFound("relation " + name_ + " has no attribute " + attribute);
+}
+
+Result<Relation> Relation::Project(const std::vector<std::string>& attrs) const {
+  std::vector<size_t> cols;
+  cols.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    DYNAMITE_ASSIGN_OR_RETURN(size_t idx, AttributeIndex(a));
+    cols.push_back(idx);
+  }
+  return ProjectColumns(cols, attrs);
+}
+
+Relation Relation::ProjectColumns(const std::vector<size_t>& columns,
+                                  std::vector<std::string> new_attrs) const {
+  Relation out(name_, std::move(new_attrs));
+  for (const Tuple& t : tuples_) out.Insert(t.Project(columns));
+  return out;
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (arity() != other.arity() || size() != other.size()) return false;
+  for (const Tuple& t : tuples_) {
+    if (!other.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::vector<Tuple> sorted = tuples_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name_ + "(" + Join(attributes_, ", ") + ") {\n";
+  for (const Tuple& t : sorted) {
+    out += "  " + t.ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,71 @@
+// Relation: a named set of tuples with fixed arity and named attributes.
+//
+// Relations are *sets* (duplicate insertion is a no-op), matching Datalog's
+// set semantics. Attribute names are carried so that projections — used
+// heavily by attribute-mapping inference (§4.1) and MDP analysis (§4.3) —
+// can be expressed by name.
+
+#ifndef DYNAMITE_VALUE_RELATION_H_
+#define DYNAMITE_VALUE_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/result.h"
+#include "value/tuple.h"
+
+namespace dynamite {
+
+/// A named set of equal-arity tuples.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Creates an empty relation with the given name and attribute names.
+  Relation(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple; returns true if it was not already present.
+  /// The tuple arity must match the relation arity.
+  bool Insert(Tuple t);
+
+  /// True if the tuple is present.
+  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+
+  /// All tuples, in insertion order (deterministic iteration).
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Index of the attribute with the given name.
+  Result<size_t> AttributeIndex(const std::string& attribute) const;
+
+  /// Projection onto the named attributes (set semantics: duplicates fold).
+  Result<Relation> Project(const std::vector<std::string>& attrs) const;
+
+  /// Projection onto column indices.
+  Relation ProjectColumns(const std::vector<size_t>& columns,
+                          std::vector<std::string> new_attrs) const;
+
+  /// Set equality with another relation (same tuples, attribute names and
+  /// order ignored only if `by_position` — default compares positionally).
+  bool SetEquals(const Relation& other) const;
+
+  /// Canonical multi-line printout, tuples sorted.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple> index_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_VALUE_RELATION_H_

@@ -1,0 +1,28 @@
+#include "value/tuple.h"
+
+namespace dynamite {
+
+Tuple Tuple::Project(const std::vector<size_t>& columns) const {
+  std::vector<Value> out;
+  out.reserve(columns.size());
+  for (size_t c : columns) out.push_back(values_[c]);
+  return Tuple(std::move(out));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = values_.size();
+  for (const Value& v : values_) HashCombine(&seed, v);
+  return seed;
+}
+
+}  // namespace dynamite

@@ -1,0 +1,55 @@
+// Tuple: a fixed-arity row of Values.
+
+#ifndef DYNAMITE_VALUE_TUPLE_H_
+#define DYNAMITE_VALUE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "value/value.h"
+
+namespace dynamite {
+
+/// A row of Values; the basic unit stored in relations and produced by
+/// Datalog evaluation.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Projection onto the given column indices, in the given order.
+  Tuple Project(const std::vector<size_t>& columns) const;
+
+  /// "(v1, v2, ...)" canonical form.
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace dynamite
+
+namespace std {
+template <>
+struct hash<dynamite::Tuple> {
+  size_t operator()(const dynamite::Tuple& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // DYNAMITE_VALUE_TUPLE_H_

@@ -1,0 +1,93 @@
+#include "value/value.h"
+
+#include <cstdio>
+
+namespace dynamite {
+
+const char* ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "Null";
+    case ValueKind::kInt:
+      return "Int";
+    case ValueKind::kFloat:
+      return "Float";
+    case ValueKind::kBool:
+      return "Bool";
+    case ValueKind::kString:
+      return "String";
+    case ValueKind::kId:
+      return "Id";
+  }
+  return "Unknown";
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kFloat: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsFloat());
+      return buf;
+    }
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kString: {
+      std::string out = "\"";
+      out += AsString();
+      out += '"';
+      return out;
+    }
+    case ValueKind::kId:
+      return "@" + std::to_string(AsId());
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (rep_.index() != other.rep_.index()) return rep_.index() < other.rep_.index();
+  switch (kind()) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kInt:
+      return AsInt() < other.AsInt();
+    case ValueKind::kFloat:
+      return AsFloat() < other.AsFloat();
+    case ValueKind::kBool:
+      return AsBool() < other.AsBool();
+    case ValueKind::kString:
+      return AsString() < other.AsString();
+    case ValueKind::kId:
+      return AsId() < other.AsId();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kInt:
+      HashCombine(&seed, AsInt());
+      break;
+    case ValueKind::kFloat:
+      HashCombine(&seed, AsFloat());
+      break;
+    case ValueKind::kBool:
+      HashCombine(&seed, AsBool());
+      break;
+    case ValueKind::kString:
+      HashCombine(&seed, AsString());
+      break;
+    case ValueKind::kId:
+      HashCombine(&seed, AsId());
+      break;
+  }
+  return seed;
+}
+
+}  // namespace dynamite

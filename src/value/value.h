@@ -1,0 +1,98 @@
+// Value: the dynamically-typed cell value used throughout the system.
+//
+// The paper's schema formalism (§3.1) has primitive types Int and String; we
+// additionally support Float and Bool (needed by the real-world-shaped
+// datasets) plus an internal Id type used for the record identifiers `Id(r)`
+// introduced by the instance-to-facts conversion (§3.3). Ids compare equal
+// only to the same id and never collide with user data.
+
+#ifndef DYNAMITE_VALUE_VALUE_H_
+#define DYNAMITE_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace dynamite {
+
+/// Kind tag of a Value.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kInt,
+  kFloat,
+  kBool,
+  kString,
+  kId,  ///< internal record identifier (never appears in user data)
+};
+
+/// Human-readable name of a ValueKind ("Int", "String", ...).
+const char* ValueKindToString(ValueKind kind);
+
+/// A dynamically typed database cell value.
+///
+/// Values are totally ordered (first by kind, then by payload) so they can be
+/// used in ordered containers and canonical printouts; equality is exact.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Float(double v) { return Value(Rep(v)); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  /// An internal record identifier; `raw` must be unique per record.
+  static Value Id(uint64_t raw) { return Value(Rep(IdRep{raw})); }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_float() const { return kind() == ValueKind::kFloat; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_id() const { return kind() == ValueKind::kId; }
+
+  /// Payload accessors; behaviour is undefined if the kind does not match.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsFloat() const { return std::get<double>(rep_); }
+  bool AsBool() const { return std::get<bool>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  uint64_t AsId() const { return std::get<IdRep>(rep_).raw; }
+
+  /// Canonical textual form ("42", "3.5", "true", "\"abc\"", "@17", "null").
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  struct IdRep {
+    uint64_t raw;
+    bool operator==(const IdRep& o) const { return raw == o.raw; }
+    bool operator<(const IdRep& o) const { return raw < o.raw; }
+  };
+  using Rep = std::variant<std::monostate, int64_t, double, bool, std::string, IdRep>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace dynamite
+
+namespace std {
+template <>
+struct hash<dynamite::Value> {
+  size_t operator()(const dynamite::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // DYNAMITE_VALUE_VALUE_H_

@@ -1,0 +1,57 @@
+// The 28 data-migration benchmarks of Table 2: every combination of
+// document/relational/graph source and target evaluated in the paper, built
+// over the Table 1 dataset families. Each benchmark carries the source and
+// target schemas, the golden ("manually written, believed optimal") Datalog
+// program, and generator parameters for curated examples and migration-
+// scale instances.
+
+#ifndef DYNAMITE_WORKLOAD_BENCHMARKS_H_
+#define DYNAMITE_WORKLOAD_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "schema/schema.h"
+#include "synth/example.h"
+#include "util/result.h"
+
+namespace dynamite {
+namespace workload {
+
+/// One benchmark row of Table 2.
+struct Benchmark {
+  std::string name;    ///< "Yelp-1"
+  std::string family;  ///< source dataset family ("Yelp")
+  char source_kind = 'R';  ///< 'R' / 'D' / 'G'
+  char target_kind = 'R';
+  Schema source;
+  Schema target;
+  Program golden;           ///< reference program (Table 3 "optimal")
+  uint64_t example_seed = 7;
+  size_t example_scale = 3;      ///< curated example size
+  size_t migration_scale = 200;  ///< Table 3 migration-time measurement size
+};
+
+/// All 28 benchmarks in Table 2 order.
+const std::vector<Benchmark>& AllBenchmarks();
+
+/// Benchmark by name; nullptr if unknown.
+const Benchmark* FindBenchmark(const std::string& name);
+
+/// Generates a source instance for the benchmark.
+Result<RecordForest> GenerateSource(const Benchmark& bench, uint64_t seed, size_t scale);
+
+/// Builds an input-output example by generating a source instance and
+/// running the golden program on it.
+Result<Example> MakeExample(const Benchmark& bench, uint64_t seed, size_t scale);
+
+/// True if `program` and the benchmark's golden program produce the same
+/// target instance on a validation source instance of the given scale.
+Result<bool> AgreesWithGolden(const Benchmark& bench, const Program& program,
+                              uint64_t seed, size_t scale);
+
+}  // namespace workload
+}  // namespace dynamite
+
+#endif  // DYNAMITE_WORKLOAD_BENCHMARKS_H_

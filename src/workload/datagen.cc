@@ -1,0 +1,28 @@
+#include "workload/datagen.h"
+
+namespace dynamite {
+namespace workload {
+
+RecordNode Rec(std::string type, std::vector<std::pair<std::string, Value>> prims) {
+  RecordNode node;
+  node.type = std::move(type);
+  node.prims = std::move(prims);
+  return node;
+}
+
+std::string Pooled(const std::string& pool, size_t index) {
+  return pool + "_" + std::to_string(index);
+}
+
+void AddChild(RecordNode* parent, const std::string& attr, RecordNode child) {
+  for (auto& [name, kids] : parent->children) {
+    if (name == attr) {
+      kids.push_back(std::move(child));
+      return;
+    }
+  }
+  parent->children.push_back({attr, {std::move(child)}});
+}
+
+}  // namespace workload
+}  // namespace dynamite

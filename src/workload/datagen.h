@@ -1,0 +1,38 @@
+// Helpers for deterministic synthetic data generation (the Table 1 dataset
+// substitutes; see DESIGN.md §2 on why generation preserves the relevant
+// behaviour).
+
+#ifndef DYNAMITE_WORKLOAD_DATAGEN_H_
+#define DYNAMITE_WORKLOAD_DATAGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "instance/record_forest.h"
+#include "util/rng.h"
+#include "value/value.h"
+
+namespace dynamite {
+namespace workload {
+
+/// Builds a flat record.
+RecordNode Rec(std::string type, std::vector<std::pair<std::string, Value>> prims);
+
+/// Shorthand value constructors.
+inline Value S(std::string s) { return Value::String(std::move(s)); }
+inline Value I(int64_t v) { return Value::Int(v); }
+inline Value F(double v) { return Value::Float(v); }
+
+/// Deterministic distinct string from a named pool ("city_3", "name_17").
+/// Using per-attribute pools keeps unrelated attributes' value sets disjoint
+/// so attribute-mapping inference sees realistic (sparse) aliasing.
+std::string Pooled(const std::string& pool, size_t index);
+
+/// Appends a child record to the first matching children group of `parent`
+/// (creating the group if absent).
+void AddChild(RecordNode* parent, const std::string& attr, RecordNode child);
+
+}  // namespace workload
+}  // namespace dynamite
+
+#endif  // DYNAMITE_WORKLOAD_DATAGEN_H_

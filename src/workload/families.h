@@ -1,0 +1,40 @@
+// The 12 dataset families of Table 1, rebuilt as deterministic synthetic
+// generators with schema shapes matching the originals (document families:
+// Yelp, IMDB, DBLP, Mondial; relational: MLB, Airbnb, Patent, Bike; graph:
+// Tencent, Retina, Movie, Soccer).
+
+#ifndef DYNAMITE_WORKLOAD_FAMILIES_H_
+#define DYNAMITE_WORKLOAD_FAMILIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "instance/record_forest.h"
+#include "schema/schema.h"
+
+namespace dynamite {
+namespace workload {
+
+/// A dataset family: native schema plus a seeded instance generator.
+struct Family {
+  std::string name;  ///< "Yelp", "IMDB", ...
+  char kind = 'R';   ///< 'R' relational, 'D' document, 'G' graph
+  Schema schema;
+  /// Generates an instance with ~`scale` primary entities.
+  std::function<RecordForest(uint64_t seed, size_t scale)> generate;
+  /// Approximate paper size of the original raw dataset (for Table 1).
+  std::string paper_size;
+  std::string description;
+};
+
+/// All 12 families, in Table 1 order.
+const std::vector<Family>& AllFamilies();
+
+/// Family by name; aborts on unknown names (programming error).
+const Family& GetFamily(const std::string& name);
+
+}  // namespace workload
+}  // namespace dynamite
+
+#endif  // DYNAMITE_WORKLOAD_FAMILIES_H_

@@ -1,0 +1,89 @@
+// Parameterized end-to-end test over all 28 benchmarks of Table 2: the
+// golden program runs, synthesis from a curated example succeeds, and the
+// synthesized program agrees with the golden program on a larger validation
+// instance (the paper's success criterion).
+
+#include <gtest/gtest.h>
+
+#include "migrate/migrator.h"
+#include "synth/synthesizer.h"
+#include "testing.h"
+#include "workload/benchmarks.h"
+
+namespace dynamite {
+namespace {
+
+using workload::AllBenchmarks;
+using workload::Benchmark;
+
+class BenchmarkTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Benchmark& bench() const { return *workload::FindBenchmark(GetParam()); }
+};
+
+TEST_P(BenchmarkTest, GoldenProgramRuns) {
+  const Benchmark& b = bench();
+  ASSERT_OK(b.golden.Validate());
+  ASSERT_OK_AND_ASSIGN(RecordForest source,
+                       workload::GenerateSource(b, /*seed=*/11, /*scale=*/5));
+  Migrator migrator(b.source, b.target);
+  MigrationStats stats;
+  ASSERT_OK_AND_ASSIGN(RecordForest target, migrator.Migrate(b.golden, source, &stats));
+  EXPECT_GT(target.TotalRecords(), 0u) << b.name;
+  EXPECT_GT(stats.source_facts, 0u);
+  EXPECT_GT(stats.target_facts, 0u);
+}
+
+TEST_P(BenchmarkTest, SynthesizesCorrectProgram) {
+  const Benchmark& b = bench();
+  ASSERT_OK_AND_ASSIGN(Example example,
+                       workload::MakeExample(b, b.example_seed, b.example_scale));
+  SynthesisOptions options;
+  options.timeout_seconds = 120;
+  Synthesizer synth(b.source, b.target, options);
+  ASSERT_OK_AND_ASSIGN(SynthesisResult result, synth.Synthesize(example));
+  EXPECT_EQ(result.program.rules.size(), b.target.TopLevelRecords().size());
+  // Correctness = observational equivalence with the golden program on a
+  // larger validation instance.
+  ASSERT_OK_AND_ASSIGN(bool agrees, workload::AgreesWithGolden(b, result.program,
+                                                               /*seed=*/99, /*scale=*/8));
+  EXPECT_TRUE(agrees) << b.name << "\nsynthesized:\n"
+                      << result.program.ToString() << "\ngolden:\n"
+                      << b.golden.ToString();
+}
+
+std::vector<std::string> AllNames() {
+  std::vector<std::string> names;
+  for (const Benchmark& b : AllBenchmarks()) names.push_back(b.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkTest, ::testing::ValuesIn(AllNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(BenchmarkRegistry, Has28Benchmarks) { EXPECT_EQ(AllBenchmarks().size(), 28u); }
+
+TEST(BenchmarkRegistry, KindsMatchTable2) {
+  // Spot-check the type pattern of Table 2.
+  const Benchmark* yelp1 = workload::FindBenchmark("Yelp-1");
+  ASSERT_NE(yelp1, nullptr);
+  EXPECT_EQ(yelp1->source_kind, 'D');
+  EXPECT_EQ(yelp1->target_kind, 'R');
+  const Benchmark* tencent2 = workload::FindBenchmark("Tencent-2");
+  ASSERT_NE(tencent2, nullptr);
+  EXPECT_EQ(tencent2->source_kind, 'G');
+  EXPECT_EQ(tencent2->target_kind, 'D');
+  const Benchmark* mlb3 = workload::FindBenchmark("MLB-3");
+  ASSERT_NE(mlb3, nullptr);
+  EXPECT_EQ(mlb3->source_kind, 'R');
+  EXPECT_EQ(mlb3->target_kind, 'R');
+}
+
+}  // namespace
+}  // namespace dynamite

@@ -1,0 +1,260 @@
+// Unit tests for the Datalog AST, parser, evaluation engine, simplifier and
+// equivalence checker (the Souffle substrate).
+
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/engine.h"
+#include "datalog/simplify.h"
+#include "util/rng.h"
+#include "testing.h"
+#include "value/database.h"
+
+namespace dynamite {
+namespace {
+
+FactDatabase EdgeDb(std::vector<std::pair<int, int>> edges) {
+  FactDatabase db;
+  db.DeclareRelation("edge", {"src", "dst"}).ValueOrDie();
+  for (auto [a, b] : edges) {
+    db.AddFact("edge", Tuple({Value::Int(a), Value::Int(b)}));
+  }
+  return db;
+}
+
+TEST(DatalogParser, ParsesMotivatingRule) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(R"(
+    Admission(grad, ug, num) :- Univ(id1, grad, v1), Admit(v1, id2, num),
+                                Univ(id2, ug, _).
+  )"));
+  ASSERT_EQ(p.rules.size(), 1u);
+  const Rule& r = p.rules[0];
+  EXPECT_EQ(r.heads.size(), 1u);
+  EXPECT_EQ(r.body.size(), 3u);
+  EXPECT_EQ(r.heads[0].relation, "Admission");
+  EXPECT_TRUE(r.body[2].terms[2].is_wildcard());
+  EXPECT_EQ(r.HeadVariables(), (std::vector<std::string>{"grad", "ug", "num"}));
+}
+
+TEST(DatalogParser, ParsesConstantsAndComments) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(R"(
+    % percent comment
+    // slash comment
+    R(x) :- S(x, 42, "hello world", -3.5, true).
+  )"));
+  const Atom& atom = p.rules[0].body[0];
+  EXPECT_EQ(atom.terms[1].constant(), Value::Int(42));
+  EXPECT_EQ(atom.terms[2].constant(), Value::String("hello world"));
+  EXPECT_EQ(atom.terms[3].constant(), Value::Float(-3.5));
+  EXPECT_EQ(atom.terms[4].constant(), Value::Bool(true));
+}
+
+TEST(DatalogParser, ParsesMultiHeadRules) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x), B(x, y) :- C(x, y)."));
+  EXPECT_EQ(p.rules[0].heads.size(), 2u);
+}
+
+TEST(DatalogParser, RejectsUnboundHeadVariable) {
+  EXPECT_FALSE(Program::Parse("A(x, y) :- B(x).").ok());
+}
+
+TEST(DatalogParser, RejectsSyntaxErrors) {
+  EXPECT_FALSE(Program::Parse("A(x) :- B(x)").ok());   // missing dot
+  EXPECT_FALSE(Program::Parse("A(x) B(x).").ok());     // missing :-
+  EXPECT_FALSE(Program::Parse("A(x :- B(x).").ok());   // unbalanced paren
+}
+
+TEST(DatalogParser, RoundTripsThroughToString) {
+  const char* text = "A(x, y) :- B(x, z), C(z, y, \"k\"), D(_, 7).";
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(text));
+  ASSERT_OK_AND_ASSIGN(Program p2, Program::Parse(p.ToString()));
+  EXPECT_EQ(p, p2);
+}
+
+TEST(DatalogEngine, SimpleJoin) {
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {3, 4}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("path2(x, y) :- edge(x, z), edge(z, y)."));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  const Relation* path2 = out.Find("path2").ValueOrDie();
+  EXPECT_EQ(path2->size(), 2u);
+  EXPECT_TRUE(path2->Contains(Tuple({Value::Int(1), Value::Int(3)})));
+  EXPECT_TRUE(path2->Contains(Tuple({Value::Int(2), Value::Int(4)})));
+}
+
+TEST(DatalogEngine, ConstantsFilter) {
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {1, 4}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("from1(y) :- edge(1, y)."));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  EXPECT_EQ(out.Find("from1").ValueOrDie()->size(), 2u);
+}
+
+TEST(DatalogEngine, RepeatedVariableWithinAtom) {
+  FactDatabase db = EdgeDb({{1, 1}, {1, 2}, {3, 3}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("loop(x) :- edge(x, x)."));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  const Relation* loop = out.Find("loop").ValueOrDie();
+  EXPECT_EQ(loop->size(), 2u);
+  EXPECT_TRUE(loop->Contains(Tuple({Value::Int(1)})));
+  EXPECT_TRUE(loop->Contains(Tuple({Value::Int(3)})));
+}
+
+TEST(DatalogEngine, MultiHeadSharesBindings) {
+  FactDatabase db = EdgeDb({{1, 2}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x), B(y, x) :- edge(x, y)."));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  EXPECT_TRUE(out.Find("A").ValueOrDie()->Contains(Tuple({Value::Int(1)})));
+  EXPECT_TRUE(out.Find("B").ValueOrDie()->Contains(Tuple({Value::Int(2), Value::Int(1)})));
+}
+
+TEST(DatalogEngine, RecursiveTransitiveClosure) {
+  // The engine is a complete substrate: recursion works via semi-naive
+  // fixpoint even though synthesis never needs it.
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )"));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  EXPECT_EQ(out.Find("tc").ValueOrDie()->size(), 10u);  // all i<j pairs
+  EXPECT_TRUE(out.Find("tc").ValueOrDie()->Contains(Tuple({Value::Int(1), Value::Int(5)})));
+}
+
+TEST(DatalogEngine, RecursiveClosureOnCycle) {
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {3, 1}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )"));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out, engine.EvalAutoSignatures(p, db));
+  EXPECT_EQ(out.Find("tc").ValueOrDie()->size(), 9u);  // 3x3 complete
+}
+
+TEST(DatalogEngine, TupleLimitAborts) {
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {3, 1}, {1, 3}, {2, 1}, {3, 2}});
+  ASSERT_OK_AND_ASSIGN(Program p,
+                       Program::Parse("big(a, b, c, d) :- edge(a, b), edge(b, c), "
+                                      "edge(c, d), edge(d, a)."));
+  DatalogEngine::Options options;
+  options.max_derived_tuples = 3;
+  DatalogEngine engine(options);
+  auto result = engine.EvalAutoSignatures(p, db);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST(DatalogEngine, UnknownBodyRelationFails) {
+  FactDatabase db = EdgeDb({});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- mystery(x)."));
+  DatalogEngine engine;
+  EXPECT_FALSE(engine.EvalAutoSignatures(p, db).ok());
+}
+
+TEST(DatalogEngine, ArityMismatchFails) {
+  FactDatabase db = EdgeDb({{1, 2}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- edge(x, _, _)."));
+  DatalogEngine engine;
+  EXPECT_FALSE(engine.EvalAutoSignatures(p, db).ok());
+}
+
+TEST(Simplify, RemovesDuplicateAtoms) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- B(x, y), B(x, y)."));
+  Rule s = SimplifyRule(p.rules[0]);
+  EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Simplify, RemovesSubsumedAtoms) {
+  // Second B atom only constrains via a local variable: subsumed by the
+  // first one.
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- B(x, y), B(x, z)."));
+  Rule s = SimplifyRule(p.rules[0]);
+  EXPECT_EQ(s.body.size(), 1u);
+}
+
+TEST(Simplify, KeepsConstrainingAtoms) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- B(x, y), C(y)."));
+  Rule s = SimplifyRule(p.rules[0]);
+  EXPECT_EQ(s.body.size(), 2u);
+}
+
+TEST(Simplify, SingleUseVariablesBecomeWildcards) {
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse("A(x) :- B(x, unused)."));
+  Rule s = SimplifyRule(p.rules[0]);
+  EXPECT_TRUE(s.body[0].terms[1].is_wildcard());
+}
+
+TEST(Simplify, PreservesSemantics) {
+  // Property: the simplified rule computes the same output.
+  FactDatabase db = EdgeDb({{1, 2}, {2, 3}, {1, 3}, {3, 3}});
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(
+      "A(x, y) :- edge(x, y), edge(x, z), edge(x, y)."));
+  Program s = SimplifyProgram(p);
+  EXPECT_LT(s.rules[0].body.size(), p.rules[0].body.size());
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out1, engine.EvalAutoSignatures(p, db));
+  ASSERT_OK_AND_ASSIGN(FactDatabase out2, engine.EvalAutoSignatures(s, db));
+  EXPECT_TRUE(out1.SetEquals(out2));
+}
+
+TEST(Equivalence, RenamedRulesAreEquivalent) {
+  ASSERT_OK_AND_ASSIGN(Program a, Program::Parse("A(x, y) :- B(x, z), C(z, y)."));
+  ASSERT_OK_AND_ASSIGN(Program b, Program::Parse("A(p, q) :- B(p, r), C(r, q)."));
+  EXPECT_TRUE(RuleEquivalent(a.rules[0], b.rules[0]));
+  EXPECT_TRUE(RuleIsomorphic(a.rules[0], b.rules[0]));
+}
+
+TEST(Equivalence, ReorderedBodyIsEquivalent) {
+  ASSERT_OK_AND_ASSIGN(Program a, Program::Parse("A(x, y) :- B(x, z), C(z, y)."));
+  ASSERT_OK_AND_ASSIGN(Program b, Program::Parse("A(x, y) :- C(w, y), B(x, w)."));
+  EXPECT_TRUE(RuleEquivalent(a.rules[0], b.rules[0]));
+}
+
+TEST(Equivalence, RedundantAtomDoesNotChangeSemantics) {
+  ASSERT_OK_AND_ASSIGN(Program a, Program::Parse("A(x) :- B(x, y)."));
+  ASSERT_OK_AND_ASSIGN(Program b, Program::Parse("A(x) :- B(x, y), B(x, z)."));
+  EXPECT_TRUE(RuleEquivalent(a.rules[0], b.rules[0]));
+  EXPECT_EQ(DistanceToOptimal(b.rules[0], a.rules[0]), 1);
+}
+
+TEST(Equivalence, DifferentJoinsAreNotEquivalent) {
+  ASSERT_OK_AND_ASSIGN(Program a, Program::Parse("A(x, y) :- B(x, z), C(z, y)."));
+  ASSERT_OK_AND_ASSIGN(Program b, Program::Parse("A(x, y) :- B(x, _), C(_, y)."));
+  EXPECT_FALSE(RuleEquivalent(a.rules[0], b.rules[0]));
+}
+
+TEST(Equivalence, ConstantsMustMatch) {
+  ASSERT_OK_AND_ASSIGN(Program a, Program::Parse("A(x) :- B(x, 1)."));
+  ASSERT_OK_AND_ASSIGN(Program b, Program::Parse("A(x) :- B(x, 2)."));
+  EXPECT_FALSE(RuleEquivalent(a.rules[0], b.rules[0]));
+}
+
+// Property test for Theorem 1: Datalog semantics is invariant under
+// injective variable renaming.
+class RenamingInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RenamingInvariance, HoldsOnRandomGraphs) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 12; ++i) {
+    edges.push_back({static_cast<int>(rng.NextBelow(5)), static_cast<int>(rng.NextBelow(5))});
+  }
+  FactDatabase db = EdgeDb(edges);
+  ASSERT_OK_AND_ASSIGN(Program original,
+                       Program::Parse("T(a, c) :- edge(a, b), edge(b, c), edge(c, a)."));
+  ASSERT_OK_AND_ASSIGN(Program renamed,
+                       Program::Parse("T(q0, q2) :- edge(q0, q1), edge(q1, q2), edge(q2, q0)."));
+  DatalogEngine engine;
+  ASSERT_OK_AND_ASSIGN(FactDatabase out1, engine.EvalAutoSignatures(original, db));
+  ASSERT_OK_AND_ASSIGN(FactDatabase out2, engine.EvalAutoSignatures(renamed, db));
+  EXPECT_TRUE(out1.SetEquals(out2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenamingInvariance, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dynamite

@@ -1,0 +1,149 @@
+// Unit tests for RecordForest and the document/relational/graph instance
+// adapters.
+
+#include <gtest/gtest.h>
+
+#include "instance/document.h"
+#include "instance/graph.h"
+#include "instance/relational.h"
+#include "migrate/facts.h"
+#include "testing.h"
+
+namespace dynamite {
+namespace {
+
+TEST(RecordForest, AccessorsAndCounts) {
+  RecordForest f;
+  f.roots.push_back(testing::UnivRecord(1, "U1", {{1, 10}, {2, 50}}));
+  EXPECT_EQ(f.TotalRecords(), 3u);
+  EXPECT_EQ(f.RootsOfType("Univ").size(), 1u);
+  EXPECT_EQ(f.RootsOfType("Nope").size(), 0u);
+  const RecordNode& univ = f.roots[0];
+  EXPECT_EQ(univ.Prim("name"), Value::String("U1"));
+  EXPECT_TRUE(univ.Prim("missing").is_null());
+  EXPECT_EQ(univ.Children("Admit").size(), 2u);
+}
+
+TEST(ValidateForest, AcceptsMotivatingInstance) {
+  Example e = testing::MotivatingExample();
+  EXPECT_OK(ValidateForest(e.input, testing::UnivSchema()));
+  EXPECT_OK(ValidateForest(e.output, testing::AdmissionSchema()));
+}
+
+TEST(ValidateForest, RejectsBadShapes) {
+  Schema s = testing::UnivSchema();
+  {  // unknown type
+    RecordForest f;
+    f.roots.push_back(testing::FlatRecord("Ghost", {}));
+    EXPECT_FALSE(ValidateForest(f, s).ok());
+  }
+  {  // missing attribute
+    RecordForest f;
+    f.roots.push_back(testing::FlatRecord("Univ", {{"id", Value::Int(1)}}));
+    EXPECT_FALSE(ValidateForest(f, s).ok());
+  }
+  {  // type error
+    RecordForest f;
+    f.roots.push_back(testing::FlatRecord(
+        "Univ", {{"id", Value::String("one")}, {"name", Value::String("U")}}));
+    EXPECT_FALSE(ValidateForest(f, s).ok());
+  }
+  {  // nested record at top level
+    RecordForest f;
+    f.roots.push_back(
+        testing::FlatRecord("Admit", {{"uid", Value::Int(1)}, {"count", Value::Int(2)}}));
+    EXPECT_FALSE(ValidateForest(f, s).ok());
+  }
+}
+
+TEST(DocumentInstance, JsonRoundTrip) {
+  Schema s = testing::UnivSchema();
+  const char* text = R"({
+    "Univ": [
+      {"id": 1, "name": "U1", "Admit": [{"uid": 1, "count": 10},
+                                        {"uid": 2, "count": 50}]},
+      {"id": 2, "name": "U2", "Admit": [{"uid": 2, "count": 20}]}
+    ]
+  })";
+  ASSERT_OK_AND_ASSIGN(DocumentInstance inst, DocumentInstance::FromJsonText(text));
+  ASSERT_OK_AND_ASSIGN(RecordForest forest, inst.ToForest(s));
+  EXPECT_EQ(forest.TotalRecords(), 5u);
+  ASSERT_OK_AND_ASSIGN(DocumentInstance back, DocumentInstance::FromForest(forest, s));
+  ASSERT_OK_AND_ASSIGN(RecordForest forest2, back.ToForest(s));
+  EXPECT_TRUE(ForestEquals(forest, forest2));
+}
+
+TEST(DocumentInstance, RejectsTypeMismatches) {
+  Schema s = testing::UnivSchema();
+  ASSERT_OK_AND_ASSIGN(
+      DocumentInstance inst,
+      DocumentInstance::FromJsonText(R"({"Univ": [{"id": "x", "name": "U", "Admit": []}]})"));
+  EXPECT_FALSE(inst.ToForest(s).ok());
+}
+
+TEST(RelationalInstance, RoundTrip) {
+  auto schema = RelationalSchemaBuilder()
+                    .AddTable("t", {{"a", PrimitiveType::kInt}, {"b", PrimitiveType::kString}})
+                    .Build()
+                    .ValueOrDie();
+  RelationalInstance inst;
+  ASSERT_OK(inst.DeclareTable(schema, "t"));
+  ASSERT_OK(inst.Insert("t", Tuple({Value::Int(1), Value::String("x")})));
+  ASSERT_OK(inst.Insert("t", Tuple({Value::Int(2), Value::String("y")})));
+  ASSERT_OK_AND_ASSIGN(RecordForest forest, inst.ToForest(schema));
+  EXPECT_EQ(forest.TotalRecords(), 2u);
+  ASSERT_OK_AND_ASSIGN(RelationalInstance back,
+                       RelationalInstance::FromForest(forest, schema));
+  EXPECT_EQ(back.Table("t").ValueOrDie()->size(), 2u);
+  EXPECT_TRUE(back.Table("t").ValueOrDie()->Contains(
+      Tuple({Value::Int(1), Value::String("x")})));
+}
+
+TEST(GraphInstance, RoundTrip) {
+  auto schema = GraphSchemaBuilder()
+                    .AddNodeType("N", {{"nid", PrimitiveType::kInt},
+                                       {"label", PrimitiveType::kString}})
+                    .AddEdgeType("E", {{"w", PrimitiveType::kInt}}, "e")
+                    .Build()
+                    .ValueOrDie();
+  GraphInstance g;
+  g.AddNode(GraphNode{"N", {{"nid", Value::Int(1)}, {"label", Value::String("a")}}});
+  g.AddNode(GraphNode{"N", {{"nid", Value::Int(2)}, {"label", Value::String("b")}}});
+  g.AddEdge(GraphEdge{"E", 1, 2, {{"w", Value::Int(9)}}});
+  ASSERT_OK_AND_ASSIGN(RecordForest forest, g.ToForest(schema));
+  EXPECT_EQ(forest.TotalRecords(), 3u);
+  ASSERT_OK_AND_ASSIGN(GraphInstance back,
+                       GraphInstance::FromForest(forest, schema, {{"E", "e"}}));
+  ASSERT_EQ(back.nodes().size(), 2u);
+  ASSERT_EQ(back.edges().size(), 1u);
+  EXPECT_EQ(back.edges()[0].source, 1);
+  EXPECT_EQ(back.edges()[0].target, 2);
+  EXPECT_EQ(back.edges()[0].properties[0].second, Value::Int(9));
+}
+
+TEST(CanonicalForest, IgnoresOrderAndDuplicates) {
+  RecordForest a, b;
+  a.roots.push_back(testing::AdmissionRecord("X", "Y", 1));
+  a.roots.push_back(testing::AdmissionRecord("P", "Q", 2));
+  b.roots.push_back(testing::AdmissionRecord("P", "Q", 2));
+  b.roots.push_back(testing::AdmissionRecord("X", "Y", 1));
+  b.roots.push_back(testing::AdmissionRecord("X", "Y", 1));  // duplicate
+  EXPECT_TRUE(ForestEquals(a, b));
+}
+
+TEST(CanonicalForest, ChildOrderIgnored) {
+  RecordForest a, b;
+  a.roots.push_back(testing::UnivRecord(1, "U", {{1, 10}, {2, 20}}));
+  b.roots.push_back(testing::UnivRecord(1, "U", {{2, 20}, {1, 10}}));
+  EXPECT_TRUE(ForestEquals(a, b));
+}
+
+TEST(CanonicalForest, DetectsNestingDifferences) {
+  RecordForest a, b;
+  a.roots.push_back(testing::UnivRecord(1, "U", {{1, 10}}));
+  b.roots.push_back(testing::UnivRecord(1, "U", {{1, 11}}));
+  EXPECT_FALSE(ForestEquals(a, b));
+}
+
+}  // namespace
+}  // namespace dynamite

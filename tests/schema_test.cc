@@ -1,0 +1,119 @@
+// Unit tests for the unified schema representation and builders (§3.1).
+
+#include <gtest/gtest.h>
+
+#include "schema/schema_builder.h"
+#include "testing.h"
+
+namespace dynamite {
+namespace {
+
+TEST(Schema, MotivatingExampleShape) {
+  // Example 1 of the paper.
+  Schema s = testing::UnivSchema();
+  EXPECT_TRUE(s.IsRecord("Univ"));
+  EXPECT_TRUE(s.IsRecord("Admit"));
+  EXPECT_TRUE(s.IsPrimitive("id"));
+  EXPECT_EQ(s.PrimitiveOf("name"), PrimitiveType::kString);
+  EXPECT_EQ(s.AttrsOf("Univ"), (std::vector<std::string>{"id", "name", "Admit"}));
+  EXPECT_TRUE(s.IsNestedRecord("Admit"));
+  EXPECT_FALSE(s.IsNestedRecord("Univ"));
+  EXPECT_EQ(*s.Parent("Admit"), "Univ");
+  EXPECT_EQ(*s.Parent("count"), "Admit");
+  EXPECT_EQ(s.RecName("uid"), "Admit");
+  EXPECT_EQ(s.TopLevelRecords(), (std::vector<std::string>{"Univ"}));
+}
+
+TEST(Schema, PrimAttrbsCoverTree) {
+  Schema s = testing::UnivSchema();
+  EXPECT_EQ(s.PrimAttrbs(), (std::vector<std::string>{"id", "name", "uid", "count"}));
+  EXPECT_EQ(s.PrimAttrbsOf("Univ"), (std::vector<std::string>{"id", "name"}));
+  EXPECT_EQ(s.PrimAttrbsOfTree("Univ"),
+            (std::vector<std::string>{"id", "name", "uid", "count"}));
+  EXPECT_EQ(s.NestedRecordsOf("Univ"), (std::vector<std::string>{"Admit"}));
+  EXPECT_EQ(s.ChainToTopLevel("Admit"), (std::vector<std::string>{"Univ", "Admit"}));
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  Schema s;
+  ASSERT_OK(s.DefinePrimitive("x", PrimitiveType::kInt));
+  EXPECT_FALSE(s.DefinePrimitive("x", PrimitiveType::kInt).ok());
+  EXPECT_FALSE(s.DefineRecord("x", {}).ok());
+}
+
+TEST(Schema, RejectsAttributeInTwoRecords) {
+  Schema s;
+  ASSERT_OK(s.DefinePrimitive("a", PrimitiveType::kInt));
+  ASSERT_OK(s.DefineRecord("R1", {"a"}));
+  ASSERT_OK(s.DefineRecord("R2", {"a"}));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(Schema, RejectsUndefinedAttribute) {
+  Schema s;
+  ASSERT_OK(s.DefineRecord("R", {"ghost"}));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(Schema, RejectsOrphanPrimitive) {
+  Schema s;
+  ASSERT_OK(s.DefinePrimitive("alone", PrimitiveType::kInt));
+  ASSERT_OK(s.DefineRecord("R", {}));
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(RelationalBuilder, BuildsFlatTables) {
+  // Example 2 of the paper.
+  auto result = RelationalSchemaBuilder()
+                    .AddTable("User", {{"id", PrimitiveType::kInt},
+                                       {"name", PrimitiveType::kString},
+                                       {"address", PrimitiveType::kString}})
+                    .Build();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Schema& s = *result;
+  EXPECT_EQ(s.AttrsOf("User"), (std::vector<std::string>{"id", "name", "address"}));
+  EXPECT_EQ(s.PrimitiveOf("address"), PrimitiveType::kString);
+}
+
+TEST(RelationalBuilder, RejectsColumnCollision) {
+  auto result = RelationalSchemaBuilder()
+                    .AddTable("A", {{"id", PrimitiveType::kInt}})
+                    .AddTable("B", {{"id", PrimitiveType::kInt}})
+                    .Build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(DocumentBuilder, RejectsUnknownParent) {
+  auto result = DocumentSchemaBuilder()
+                    .AddCollection("Child", {{"x", PrimitiveType::kInt}}, "Nonexistent")
+                    .Build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphBuilder, BuildsExample3Schema) {
+  // Example 3 of the paper: Actor -ACT_IN-> Movie.
+  auto result = GraphSchemaBuilder()
+                    .AddNodeType("Actor", {{"aid", PrimitiveType::kInt},
+                                           {"aname", PrimitiveType::kString}})
+                    .AddNodeType("Movie", {{"mid", PrimitiveType::kInt},
+                                           {"title", PrimitiveType::kString}})
+                    .AddEdgeType("ACT_IN", {{"role", PrimitiveType::kString}}, "act")
+                    .Build();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Schema& s = *result;
+  EXPECT_EQ(s.AttrsOf("ACT_IN"),
+            (std::vector<std::string>{"act_source", "act_target", "role"}));
+  EXPECT_EQ(s.PrimitiveOf("act_source"), PrimitiveType::kInt);
+  EXPECT_EQ(s.TopLevelRecords().size(), 3u);
+}
+
+TEST(ValueMatchesType, IntWidensToFloat) {
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), PrimitiveType::kInt));
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), PrimitiveType::kFloat));
+  EXPECT_FALSE(ValueMatchesType(Value::Float(1.0), PrimitiveType::kInt));
+  EXPECT_FALSE(ValueMatchesType(Value::String("1"), PrimitiveType::kInt));
+  EXPECT_TRUE(ValueMatchesType(Value::Bool(true), PrimitiveType::kBool));
+}
+
+}  // namespace
+}  // namespace dynamite

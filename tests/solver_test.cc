@@ -1,0 +1,316 @@
+// Unit and property tests for the CDCL SAT solver and the finite-domain
+// layer (the Z3 substrate).
+
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "solver/fd.h"
+#include "solver/sat.h"
+#include "testing.h"
+#include "util/rng.h"
+
+namespace dynamite {
+namespace {
+
+using sat::Lit;
+using sat::MkLit;
+using sat::SatSolver;
+using sat::Var;
+
+TEST(Sat, TrivialSat) {
+  SatSolver s;
+  Var a = s.NewVar();
+  s.AddClause({MkLit(a)});
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+  SatSolver s;
+  Var a = s.NewVar();
+  EXPECT_TRUE(s.AddClause({MkLit(a)}));
+  EXPECT_FALSE(s.AddClause({MkLit(a, true)}));
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kUnsat);
+}
+
+TEST(Sat, EmptyClauseIsUnsat) {
+  SatSolver s;
+  EXPECT_FALSE(s.AddClause({}));
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kUnsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  SatSolver s;
+  Var a = s.NewVar();
+  EXPECT_TRUE(s.AddClause({MkLit(a), MkLit(a, true)}));
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kSat);
+}
+
+TEST(Sat, PigeonHole3Into2IsUnsat) {
+  // php(3,2): 3 pigeons, 2 holes — classic small UNSAT instance requiring
+  // actual search.
+  SatSolver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.NewVar();
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.AddClause({MkLit(p[i][0]), MkLit(p[i][1])});
+  }
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        s.AddClause({MkLit(p[i][h], true), MkLit(p[j][h], true)});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SatSolver::Outcome::kUnsat);
+}
+
+TEST(Sat, IncrementalBlockingClauses) {
+  // Enumerate all 8 models of 3 free variables by blocking each.
+  SatSolver s;
+  Var v[3] = {s.NewVar(), s.NewVar(), s.NewVar()};
+  s.AddClause({MkLit(v[0]), MkLit(v[0], true)});  // touch solver
+  int models = 0;
+  while (s.Solve() == SatSolver::Outcome::kSat && models < 20) {
+    ++models;
+    std::vector<Lit> block;
+    for (Var x : v) block.push_back(MkLit(x, s.ModelValue(x)));
+    if (!s.AddClause(block)) break;
+  }
+  EXPECT_EQ(models, 8);
+}
+
+/// Reference brute-force SAT check for property testing.
+bool BruteForceSat(int num_vars, const std::vector<std::vector<Lit>>& clauses) {
+  for (uint32_t assignment = 0; assignment < (1u << num_vars); ++assignment) {
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (Lit l : clause) {
+        bool val = ((assignment >> sat::VarOf(l)) & 1) != 0;
+        if (sat::SignOf(l)) val = !val;
+        if (val) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// Property test: CDCL agrees with brute force on random 3-CNF.
+class SatRandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomCnf, AgreesWithBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const int num_vars = 8;
+  const int num_clauses = 3 + static_cast<int>(rng.NextBelow(40));
+  SatSolver solver;
+  for (int i = 0; i < num_vars; ++i) solver.NewVar();
+  std::vector<std::vector<Lit>> clauses;
+  bool trivially_unsat = false;
+  for (int c = 0; c < num_clauses; ++c) {
+    std::vector<Lit> clause;
+    int width = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < width; ++k) {
+      clause.push_back(MkLit(static_cast<Var>(rng.NextBelow(num_vars)), rng.NextBool()));
+    }
+    clauses.push_back(clause);
+    if (!solver.AddClause(clause)) trivially_unsat = true;
+  }
+  bool expected = BruteForceSat(num_vars, clauses);
+  if (trivially_unsat) {
+    EXPECT_FALSE(expected);
+    return;
+  }
+  SatSolver::Outcome outcome = solver.Solve();
+  EXPECT_EQ(outcome == SatSolver::Outcome::kSat, expected);
+  if (outcome == SatSolver::Outcome::kSat) {
+    // The returned model must actually satisfy every clause.
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (Lit l : clause) {
+        if (solver.ModelValue(sat::VarOf(l)) != sat::SignOf(l)) any = true;
+      }
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomCnf, ::testing::Range(0, 50));
+
+TEST(Fd, DomainRespected) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {3, 5, 9});
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  ASSERT_TRUE(sat1);
+  int64_t v = s.ModelValue(x);
+  EXPECT_TRUE(v == 3 || v == 5 || v == 9);
+}
+
+TEST(Fd, EqConstraintPinsValue) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2, 3});
+  ASSERT_OK(s.AddConstraint(FdExpr::Eq(x, 2)));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  ASSERT_TRUE(sat1);
+  EXPECT_EQ(s.ModelValue(x), 2);
+}
+
+TEST(Fd, EqOutOfDomainIsFalse) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2});
+  ASSERT_OK(s.AddConstraint(FdExpr::Eq(x, 99)));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  EXPECT_FALSE(sat1);
+}
+
+TEST(Fd, VarEqVarSharedDomain) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2, 3});
+  FdVar y = s.NewVar("y", {2, 3, 4});
+  ASSERT_OK(s.AddConstraint(FdExpr::EqVar(x, y)));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  ASSERT_TRUE(sat1);
+  EXPECT_EQ(s.ModelValue(x), s.ModelValue(y));
+}
+
+TEST(Fd, VarEqVarDisjointDomainsUnsat) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2});
+  FdVar y = s.NewVar("y", {3, 4});
+  ASSERT_OK(s.AddConstraint(FdExpr::EqVar(x, y)));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  EXPECT_FALSE(sat1);
+}
+
+TEST(Fd, NotEqVar) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2});
+  FdVar y = s.NewVar("y", {1, 2});
+  ASSERT_OK(s.AddConstraint(FdExpr::Not(FdExpr::EqVar(x, y))));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  ASSERT_TRUE(sat1);
+  EXPECT_NE(s.ModelValue(x), s.ModelValue(y));
+}
+
+TEST(Fd, BlockingClauseEnumeration) {
+  // Enumerate all 6 models of two independent vars by blocking.
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2});
+  FdVar y = s.NewVar("y", {1, 2, 3});
+  int models = 0;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+    if (!sat1) break;
+    ++models;
+    ASSERT_LE(models, 10);
+    ASSERT_OK(s.AddConstraint(FdExpr::Not(FdExpr::And(
+        {FdExpr::Eq(x, s.ModelValue(x)), FdExpr::Eq(y, s.ModelValue(y))}))));
+  }
+  EXPECT_EQ(models, 6);
+}
+
+TEST(Fd, ComplexNestedFormula) {
+  FdSolver s;
+  FdVar x = s.NewVar("x", {1, 2, 3});
+  FdVar y = s.NewVar("y", {1, 2, 3});
+  // (x=1 | x=2) & !(x=y) & (y=1 | y=3)
+  ASSERT_OK(s.AddConstraint(
+      FdExpr::And({FdExpr::Or({FdExpr::Eq(x, 1), FdExpr::Eq(x, 2)}),
+                   FdExpr::Not(FdExpr::EqVar(x, y)),
+                   FdExpr::Or({FdExpr::Eq(y, 1), FdExpr::Eq(y, 3)})})));
+  ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+  ASSERT_TRUE(sat1);
+  int64_t xv = s.ModelValue(x), yv = s.ModelValue(y);
+  EXPECT_TRUE(xv == 1 || xv == 2);
+  EXPECT_TRUE(yv == 1 || yv == 3);
+  EXPECT_NE(xv, yv);
+}
+
+// Property test: the FD layer agrees with explicit enumeration on random
+// equality formulas.
+class FdRandomFormula : public ::testing::TestWithParam<int> {};
+
+TEST_P(FdRandomFormula, ModelCountMatchesEnumeration) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  const int num_vars = 3;
+  const int domain_size = 3;
+  FdSolver s;
+  std::vector<FdVar> vars;
+  for (int i = 0; i < num_vars; ++i) {
+    s.NewVar("v" + std::to_string(i), {0, 1, 2});
+    vars.push_back(FdVar{i});
+  }
+  // Random constraint: conjunction of 3 random (dis)equalities.
+  struct Constraint {
+    int a, b;
+    bool eq;
+    bool against_const;
+    int64_t c;
+  };
+  std::vector<Constraint> constraints;
+  std::vector<FdExpr> exprs;
+  for (int k = 0; k < 3; ++k) {
+    Constraint con;
+    con.a = static_cast<int>(rng.NextBelow(num_vars));
+    con.b = static_cast<int>(rng.NextBelow(num_vars));
+    con.eq = rng.NextBool();
+    con.against_const = rng.NextBool();
+    con.c = static_cast<int64_t>(rng.NextBelow(domain_size));
+    constraints.push_back(con);
+    FdExpr base = con.against_const ? FdExpr::Eq(vars[static_cast<size_t>(con.a)], con.c)
+                                    : FdExpr::EqVar(vars[static_cast<size_t>(con.a)],
+                                                    vars[static_cast<size_t>(con.b)]);
+    exprs.push_back(con.eq ? base : FdExpr::Not(base));
+  }
+  ASSERT_OK(s.AddConstraint(FdExpr::And(exprs)));
+
+  // Count models by blocking; compare against explicit enumeration.
+  int solver_models = 0;
+  for (;;) {
+    ASSERT_OK_AND_ASSIGN(bool sat1, s.Solve());
+    if (!sat1) break;
+    ++solver_models;
+    ASSERT_LE(solver_models, 27);
+    std::vector<FdExpr> eqs;
+    for (int i = 0; i < num_vars; ++i) {
+      eqs.push_back(FdExpr::Eq(vars[static_cast<size_t>(i)],
+                               s.ModelValue(vars[static_cast<size_t>(i)])));
+    }
+    ASSERT_OK(s.AddConstraint(FdExpr::Not(FdExpr::And(eqs))));
+  }
+  int expected = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      for (int c = 0; c < 3; ++c) {
+        int val[3] = {a, b, c};
+        bool ok = true;
+        for (const Constraint& con : constraints) {
+          bool holds = con.against_const ? (val[con.a] == con.c)
+                                         : (val[con.a] == val[con.b]);
+          if (holds != con.eq) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) ++expected;
+      }
+    }
+  }
+  EXPECT_EQ(solver_models, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FdRandomFormula, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dynamite

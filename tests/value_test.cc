@@ -1,0 +1,134 @@
+// Unit tests for Value, Tuple, Relation and FactDatabase.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "testing.h"
+#include "value/database.h"
+
+namespace dynamite {
+namespace {
+
+TEST(Value, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(-3).AsInt(), -3);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+  EXPECT_EQ(Value::Id(17).AsId(), 17u);
+}
+
+TEST(Value, EqualityIsExactAndKindAware) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Float(1.0));  // kinds differ
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  EXPECT_NE(Value::Id(1), Value::Int(1));  // ids never equal user data
+}
+
+TEST(Value, OrderingIsTotal) {
+  std::vector<Value> vals = {Value::String("b"), Value::Int(2), Value::Null(),
+                             Value::Int(1), Value::String("a")};
+  std::sort(vals.begin(), vals.end());
+  // Sorted by kind first, then payload.
+  EXPECT_TRUE(vals[0].is_null());
+  EXPECT_EQ(vals[1], Value::Int(1));
+  EXPECT_EQ(vals[2], Value::Int(2));
+  EXPECT_EQ(vals[3], Value::String("a"));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(5));
+  set.insert(Value::Int(5));
+  set.insert(Value::String("5"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Value, ToStringForms) {
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value::Id(3).ToString(), "@3");
+  EXPECT_EQ(Value::Null().ToString(), "null");
+}
+
+TEST(Tuple, ProjectionReordersColumns) {
+  Tuple t({Value::Int(1), Value::String("a"), Value::Int(3)});
+  Tuple p = t.Project({2, 0});
+  ASSERT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p[0], Value::Int(3));
+  EXPECT_EQ(p[1], Value::Int(1));
+}
+
+TEST(Tuple, HashAndEquality) {
+  Tuple a({Value::Int(1), Value::Int(2)});
+  Tuple b({Value::Int(1), Value::Int(2)});
+  Tuple c({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(Relation, InsertIsSetSemantics) {
+  Relation r("R", {"x", "y"});
+  EXPECT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_FALSE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple({Value::Int(1), Value::Int(2)})));
+}
+
+TEST(Relation, ProjectByNameFoldsDuplicates) {
+  Relation r("R", {"x", "y"});
+  r.Insert(Tuple({Value::Int(1), Value::Int(2)}));
+  r.Insert(Tuple({Value::Int(1), Value::Int(3)}));
+  ASSERT_OK_AND_ASSIGN(Relation p, r.Project({"x"}));
+  EXPECT_EQ(p.size(), 1u);  // both tuples project to (1)
+}
+
+TEST(Relation, ProjectUnknownAttributeFails) {
+  Relation r("R", {"x"});
+  EXPECT_FALSE(r.Project({"zzz"}).ok());
+}
+
+TEST(Relation, SetEqualsIgnoresInsertionOrder) {
+  Relation a("R", {"x"}), b("R", {"x"});
+  a.Insert(Tuple({Value::Int(1)}));
+  a.Insert(Tuple({Value::Int(2)}));
+  b.Insert(Tuple({Value::Int(2)}));
+  b.Insert(Tuple({Value::Int(1)}));
+  EXPECT_TRUE(a.SetEquals(b));
+  b.Insert(Tuple({Value::Int(3)}));
+  EXPECT_FALSE(a.SetEquals(b));
+}
+
+TEST(FactDatabase, DeclareAndAddFacts) {
+  FactDatabase db;
+  ASSERT_OK_AND_ASSIGN(Relation * rel, db.DeclareRelation("R", {"a", "b"}));
+  (void)rel;
+  ASSERT_OK(db.AddFact("R", Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_EQ(db.TotalFacts(), 1u);
+  EXPECT_FALSE(db.AddFact("R", Tuple({Value::Int(1)})).ok());  // arity
+  EXPECT_FALSE(db.AddFact("S", Tuple({Value::Int(1)})).ok());  // unknown
+}
+
+TEST(FactDatabase, RedeclareSameSignatureIsIdempotent) {
+  FactDatabase db;
+  ASSERT_OK(db.DeclareRelation("R", {"a"}).status());
+  EXPECT_TRUE(db.DeclareRelation("R", {"a"}).ok());
+  EXPECT_FALSE(db.DeclareRelation("R", {"b"}).ok());
+}
+
+TEST(FactDatabase, SetEquals) {
+  FactDatabase a, b;
+  ASSERT_OK(a.DeclareRelation("R", {"x"}).status());
+  ASSERT_OK(b.DeclareRelation("R", {"x"}).status());
+  ASSERT_OK(a.AddFact("R", Tuple({Value::Int(1)})));
+  EXPECT_FALSE(a.SetEquals(b));
+  ASSERT_OK(b.AddFact("R", Tuple({Value::Int(1)})));
+  EXPECT_TRUE(a.SetEquals(b));
+}
+
+}  // namespace
+}  // namespace dynamite
