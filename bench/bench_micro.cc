@@ -3,6 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
 #include "datalog/engine.h"
 #include "migrate/facts.h"
 #include "solver/fd.h"
@@ -24,17 +28,111 @@ FactDatabase ChainEdges(int n) {
   return db;
 }
 
+std::string UserName(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user_%06d", i);
+  return buf;
+}
+
+std::string CityName(int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "city_of_%04d", i);
+  return buf;
+}
+
+/// String-keyed EDB: person(name, city) x city(city, country); all join
+/// columns are strings with long shared prefixes, the worst case for
+/// by-value string comparison and hashing.
+FactDatabase StringPeople(int n) {
+  FactDatabase db;
+  db.DeclareRelation("person", {"name", "city"}).ValueOrDie();
+  db.DeclareRelation("city", {"city", "country"}).ValueOrDie();
+  int cities = n / 10 + 1;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("person", Tuple({Value::String(UserName(i)),
+                                Value::String(CityName(i % cities))}));
+  }
+  for (int c = 0; c < cities; ++c) {
+    db.AddFact("city", Tuple({Value::String(CityName(c)),
+                              Value::String("country_" + std::to_string(c % 17))}));
+  }
+  return db;
+}
+
+/// String-node edge relation for recursive (fixpoint) workloads.
+FactDatabase StringEdges(int n) {
+  FactDatabase db;
+  db.DeclareRelation("edge", {"s", "t"}).ValueOrDie();
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", Tuple({Value::String(UserName(i)),
+                              Value::String(UserName((i + 1) % n))}));
+    db.AddFact("edge", Tuple({Value::String(UserName(i)),
+                              Value::String(UserName((i * 7 + 3) % n))}));
+  }
+  return db;
+}
+
 void BM_DatalogTwoWayJoin(benchmark::State& state) {
   FactDatabase db = ChainEdges(static_cast<int>(state.range(0)));
   Program p = Program::Parse("j(x, z) :- edge(x, y), edge(y, z).").ValueOrDie();
   DatalogEngine engine;
+  size_t derived = 0;
   for (auto _ : state) {
     auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
     benchmark::DoNotOptimize(out);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
 }
 BENCHMARK(BM_DatalogTwoWayJoin)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DatalogStringJoin(benchmark::State& state) {
+  FactDatabase db = StringPeople(static_cast<int>(state.range(0)));
+  Program p = Program::Parse(
+      "lives(n, c, k) :- person(n, c), city(c, k).").ValueOrDie();
+  DatalogEngine engine;
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_DatalogStringJoin)->Arg(1000)->Arg(10000);
+
+void BM_DatalogStringSelfJoin(benchmark::State& state) {
+  // Same-city pairs: a fan-out join whose key and payload are all strings.
+  FactDatabase db = StringPeople(static_cast<int>(state.range(0)));
+  Program p = Program::Parse(
+      "pair(a, b) :- person(a, c), person(b, c).").ValueOrDie();
+  DatalogEngine engine;
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_DatalogStringSelfJoin)->Arg(300)->Arg(1000);
+
+void BM_DatalogStringTransitiveClosure(benchmark::State& state) {
+  FactDatabase db = StringEdges(static_cast<int>(state.range(0)));
+  Program p = Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").ValueOrDie();
+  DatalogEngine engine;
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_DatalogStringTransitiveClosure)->Arg(50)->Arg(200);
 
 void BM_DatalogTransitiveClosure(benchmark::State& state) {
   FactDatabase db = ChainEdges(static_cast<int>(state.range(0)));
@@ -43,10 +141,13 @@ void BM_DatalogTransitiveClosure(benchmark::State& state) {
     tc(x, y) :- tc(x, z), edge(z, y).
   )").ValueOrDie();
   DatalogEngine engine;
+  size_t derived = 0;
   for (auto _ : state) {
     auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
     benchmark::DoNotOptimize(out);
   }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
 }
 BENCHMARK(BM_DatalogTransitiveClosure)->Arg(50)->Arg(200);
 
@@ -130,7 +231,54 @@ void BM_EndToEndSynthesisMotivating(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSynthesisMotivating)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally records every run into a JsonWriter,
+/// so the perf trajectory lands in BENCH_micro.json (satellite of ISSUE 1).
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::JsonWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double wall_ms = run.GetAdjustedRealTime() *
+                       (run.time_unit == benchmark::kMillisecond ? 1.0
+                        : run.time_unit == benchmark::kMicrosecond ? 1e-3
+                        : run.time_unit == benchmark::kSecond ? 1e3
+                                                              : 1e-6);
+      double ips = 0;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) ips = it->second.value;
+      writer_->Record(run.benchmark_name(), wall_ms, ips);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonWriter* writer_;
+};
+
 }  // namespace
 }  // namespace dynamite
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dynamite::bench::JsonWriter writer;
+  dynamite::JsonTeeReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = std::getenv("DYNAMITE_BENCH_JSON");
+  const char* label = std::getenv("DYNAMITE_BENCH_LABEL");
+  if (path == nullptr) path = "BENCH_micro.json";
+  if (label == nullptr) label = "";
+  if (writer.empty()) {
+    std::fprintf(stderr, "no benchmark results; %s not written\n", path);
+    return 0;
+  }
+  if (!writer.WriteFile(path, label)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", path);
+  return 0;
+}

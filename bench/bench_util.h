@@ -53,6 +53,78 @@ inline std::string FmtSci(double v) {
   return buf;
 }
 
+/// Collects per-benchmark results and writes them as machine-readable JSON
+/// (one object per benchmark: name, wall time, throughput). Used to track
+/// the perf trajectory across PRs (BENCH_micro.json at the repo root).
+class JsonWriter {
+ public:
+  struct Entry {
+    std::string name;
+    double wall_ms = 0;            ///< mean wall time per iteration
+    double items_per_second = 0;   ///< derived-tuple / record throughput (0 = n/a)
+  };
+
+  void Record(std::string name, double wall_ms, double items_per_second) {
+    entries_.push_back({std::move(name), wall_ms, items_per_second});
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  /// Serializes all entries; `label` tags the run (e.g. a git revision).
+  std::string ToJson(const std::string& label) const {
+    std::string out = "{\n  \"label\": \"" + Escape(label) + "\",\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"name\": \"%s\", \"wall_ms\": %.6f, \"items_per_second\": %.1f}%s\n",
+                    Escape(e.name).c_str(), e.wall_ms, e.items_per_second,
+                    i + 1 < entries_.size() ? "," : "");
+      out += buf;
+    }
+    out += "  ]\n}\n";
+    return out;
+  }
+
+  /// Writes ToJson(label) to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path, const std::string& label) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::string json = ToJson(label);
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    return written == json.size();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace bench
 }  // namespace dynamite
 

@@ -1,8 +1,12 @@
 #include "datalog/engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <set>
 #include <unordered_map>
 
+#include "datalog/index.h"
 #include "util/timer.h"
 
 namespace dynamite {
@@ -17,10 +21,14 @@ struct Slot {
   int var = -1;  // slot index for variables
 };
 
-/// Compiled atom with a static join plan relative to its position in the
-/// body (left-to-right matching order).
-struct CompiledAtom {
+/// One body atom inside a join plan, with a static matching strategy
+/// relative to its position in the plan's atom order.
+struct PlanAtom {
   std::string relation;
+  bool is_idb = false;
+  /// Restricted to the delta suffix [lo, hi) of its relation during
+  /// semi-naive iteration (at most one per plan).
+  bool is_delta = false;
   std::vector<Slot> slots;
   // Positions whose value is known before scanning this atom (constants and
   // variables bound by earlier atoms) — these form the hash-index key.
@@ -32,20 +40,119 @@ struct CompiledAtom {
   std::vector<size_t> bind_positions;
 };
 
+/// An ordered sequence of body atoms to match left to right.
+struct JoinPlan {
+  std::vector<PlanAtom> atoms;
+};
+
+/// A rule compiled to one full plan (every atom reads its full relation)
+/// plus one delta plan per IDB body atom occurrence (that atom reads only
+/// the semi-naive delta). Plans share the variable-slot numbering.
 struct CompiledRule {
-  std::vector<CompiledAtom> body;
-  // Head: per head atom, relation + slots (constants or bound vars).
   struct Head {
     std::string relation;
     std::vector<Slot> slots;
   };
   std::vector<Head> heads;
   int num_slots = 0;
-  bool has_idb_body = false;             // any body atom reads an IDB relation
-  std::vector<size_t> idb_body_atoms;    // indices of IDB body atoms
+  bool has_idb_body = false;
+  std::vector<std::string> idb_body_relations;  // parallel to delta_plans
+  JoinPlan full;
+  std::vector<JoinPlan> delta_plans;
 };
 
-Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& idb) {
+/// Uncompiled body atom with its variable slots resolved.
+struct RawAtom {
+  std::string relation;
+  bool is_idb = false;
+  size_t cardinality = 0;  // estimated; IDB atoms get a large constant
+  std::vector<Slot> slots;
+};
+
+/// IDB relations grow during evaluation; rank them behind any EDB relation
+/// of plausible size when ordering joins.
+constexpr size_t kIdbCardinality = size_t{1} << 40;
+
+/// Builds the PlanAtom sequence for the given atom order. Key, check, and
+/// bind positions depend on which variables earlier atoms bound, so they are
+/// recomputed per order; slot numbering is shared across plans.
+JoinPlan MakePlan(const std::vector<RawAtom>& raws, const std::vector<size_t>& order,
+                  int delta_atom) {
+  JoinPlan plan;
+  std::set<int> bound;
+  for (size_t ai : order) {
+    const RawAtom& raw = raws[ai];
+    PlanAtom pa;
+    pa.relation = raw.relation;
+    pa.is_idb = raw.is_idb;
+    pa.is_delta = static_cast<int>(ai) == delta_atom;
+    pa.slots = raw.slots;
+    std::set<int> bound_here;
+    for (size_t i = 0; i < pa.slots.size(); ++i) {
+      const Slot& s = pa.slots[i];
+      if (s.is_wildcard) continue;
+      if (s.is_const || bound.count(s.var) > 0) {
+        pa.key_positions.push_back(i);
+      } else if (bound_here.count(s.var) > 0) {
+        pa.check_positions.push_back(i);
+      } else {
+        pa.bind_positions.push_back(i);
+        bound_here.insert(s.var);
+      }
+    }
+    bound.insert(bound_here.begin(), bound_here.end());
+    plan.atoms.push_back(std::move(pa));
+  }
+  return plan;
+}
+
+/// Greedy selectivity order: repeatedly pick the atom with the most bound
+/// positions (constants + variables bound by already-picked atoms), breaking
+/// ties by smaller estimated cardinality, then by original position.
+/// `forced_first` (an index into raws, or -1) pins the delta atom up front —
+/// deltas are the smallest view by construction.
+std::vector<size_t> SelectivityOrder(const std::vector<RawAtom>& raws, int forced_first) {
+  std::vector<size_t> order;
+  std::set<int> bound;
+  std::vector<bool> used(raws.size(), false);
+  auto take = [&](size_t ai) {
+    used[ai] = true;
+    order.push_back(ai);
+    for (const Slot& s : raws[ai].slots) {
+      if (!s.is_const && !s.is_wildcard) bound.insert(s.var);
+    }
+  };
+  if (forced_first >= 0) take(static_cast<size_t>(forced_first));
+  while (order.size() < raws.size()) {
+    size_t best = raws.size();
+    size_t best_score = 0;
+    size_t best_card = 0;
+    for (size_t ai = 0; ai < raws.size(); ++ai) {
+      if (used[ai]) continue;
+      size_t score = 0;
+      for (const Slot& s : raws[ai].slots) {
+        if (s.is_const || (!s.is_wildcard && bound.count(s.var) > 0)) ++score;
+      }
+      if (best == raws.size() || score > best_score ||
+          (score == best_score && raws[ai].cardinality < best_card)) {
+        best = ai;
+        best_score = score;
+        best_card = raws[ai].cardinality;
+      }
+    }
+    take(best);
+  }
+  return order;
+}
+
+std::vector<size_t> IdentityOrder(size_t n) {
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  return order;
+}
+
+Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& idb,
+                                 const FactDatabase& edb, bool reorder) {
   CompiledRule out;
   std::map<std::string, int> var_slot;
   auto slot_of = [&](const std::string& v) {
@@ -56,56 +163,34 @@ Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& 
     return s;
   };
 
-  std::vector<bool> bound;  // grows with slots
-  auto is_bound = [&](int slot) {
-    return slot < static_cast<int>(bound.size()) && bound[static_cast<size_t>(slot)];
-  };
-  auto mark_bound = [&](int slot) {
-    if (slot >= static_cast<int>(bound.size())) bound.resize(static_cast<size_t>(slot) + 1, false);
-    bound[static_cast<size_t>(slot)] = true;
-  };
-
+  std::vector<RawAtom> raws;
+  std::set<int> body_vars;
+  std::vector<size_t> idb_atom_indices;
   for (const Atom& atom : rule.body) {
-    CompiledAtom ca;
-    ca.relation = atom.relation;
-    // First pass: key positions = constants + vars bound by earlier atoms.
-    std::vector<bool> bound_at_entry;
-    for (size_t i = 0; i < atom.terms.size(); ++i) {
-      const Term& t = atom.terms[i];
+    RawAtom raw;
+    raw.relation = atom.relation;
+    raw.is_idb = idb.count(atom.relation) > 0;
+    if (raw.is_idb) {
+      raw.cardinality = kIdbCardinality;
+      idb_atom_indices.push_back(raws.size());
+    } else {
+      auto rel = edb.Find(atom.relation);
+      raw.cardinality = rel.ok() ? rel.ValueOrDie()->size() : kIdbCardinality;
+    }
+    for (const Term& t : atom.terms) {
       Slot s;
       if (t.is_constant()) {
         s.is_const = true;
         s.constant = t.constant();
-        ca.key_positions.push_back(i);
       } else if (t.is_wildcard()) {
         s.is_wildcard = true;
       } else {
         s.var = slot_of(t.var());
-        if (is_bound(s.var)) {
-          ca.key_positions.push_back(i);
-        }
+        body_vars.insert(s.var);
       }
-      ca.slots.push_back(std::move(s));
+      raw.slots.push_back(std::move(s));
     }
-    // Second pass: within-atom repeats become checks; fresh vars bind.
-    std::set<int> bound_here;
-    for (size_t i = 0; i < ca.slots.size(); ++i) {
-      const Slot& s = ca.slots[i];
-      if (s.is_const || s.is_wildcard) continue;
-      if (is_bound(s.var)) continue;  // already a key position
-      if (bound_here.count(s.var) > 0) {
-        ca.check_positions.push_back(i);
-      } else {
-        ca.bind_positions.push_back(i);
-        bound_here.insert(s.var);
-      }
-    }
-    for (int v : bound_here) mark_bound(v);
-    if (idb.count(ca.relation) > 0) {
-      out.has_idb_body = true;
-      out.idb_body_atoms.push_back(out.body.size());
-    }
-    out.body.push_back(std::move(ca));
+    raws.push_back(std::move(raw));
   }
 
   for (const Atom& h : rule.heads) {
@@ -118,7 +203,7 @@ Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& 
         s.constant = t.constant();
       } else if (t.is_variable()) {
         s.var = slot_of(t.var());
-        if (!is_bound(s.var)) {
+        if (body_vars.count(s.var) == 0) {
           return Status::InvalidArgument("head variable " + t.var() + " unbound in body");
         }
       } else {
@@ -129,241 +214,361 @@ Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& 
     out.heads.push_back(std::move(head));
   }
   out.num_slots = static_cast<int>(var_slot.size());
+  out.has_idb_body = !idb_atom_indices.empty();
+
+  out.full = MakePlan(raws, reorder ? SelectivityOrder(raws, -1) : IdentityOrder(raws.size()),
+                      -1);
+  for (size_t ai : idb_atom_indices) {
+    out.idb_body_relations.push_back(raws[ai].relation);
+    std::vector<size_t> order = reorder ? SelectivityOrder(raws, static_cast<int>(ai))
+                                        : IdentityOrder(raws.size());
+    out.delta_plans.push_back(MakePlan(raws, order, static_cast<int>(ai)));
+  }
   return out;
 }
 
-/// Hash index over a relation for a fixed set of key positions.
-class AtomIndex {
- public:
-  AtomIndex(const Relation& rel, const std::vector<size_t>& key_positions)
-      : rel_(rel), key_positions_(key_positions) {
-    if (key_positions_.empty()) return;
-    index_.reserve(rel.size());
-    for (size_t i = 0; i < rel.tuples().size(); ++i) {
-      index_[rel.tuples()[i].Project(key_positions_)].push_back(i);
+/// Injective serialization of a rule for the compiled-rule cache.
+/// Rule::ToString() is ambiguous — Float(1.0) prints as "1" just like
+/// Int(1), and string constants embed unescaped — so it must not key the
+/// cache (a collision would replay another rule's compiled constants).
+/// Constants are encoded as kind tag + exact payload bits (string pool ids
+/// are stable for the process, which is the cache's lifetime).
+void AppendCacheKey(const Atom& atom, std::string* key) {
+  *key += atom.relation;
+  *key += '\x02';
+  char buf[32];
+  for (const Term& t : atom.terms) {
+    if (t.is_wildcard()) {
+      *key += 'W';
+    } else if (t.is_variable()) {
+      *key += 'V';
+      *key += t.var();
+    } else {
+      const Value& v = t.constant();
+      uint64_t bits = 0;
+      switch (v.kind()) {
+        case ValueKind::kNull:
+          break;
+        case ValueKind::kInt:
+          bits = static_cast<uint64_t>(v.AsInt());
+          break;
+        case ValueKind::kFloat: {
+          double d = v.AsFloat();
+          static_assert(sizeof(d) == sizeof(bits));
+          std::memcpy(&bits, &d, sizeof(bits));
+          break;
+        }
+        case ValueKind::kBool:
+          bits = v.AsBool() ? 1 : 0;
+          break;
+        case ValueKind::kString:
+          bits = v.string_id();
+          break;
+        case ValueKind::kId:
+          bits = v.AsId();
+          break;
+      }
+      std::snprintf(buf, sizeof(buf), "C%u:%016llx", static_cast<unsigned>(v.kind()),
+                    static_cast<unsigned long long>(bits));
+      *key += buf;
     }
+    *key += '\x03';
   }
+  *key += '\x04';
+}
 
-  /// Tuple indices matching the key (all tuples when no key positions).
-  const std::vector<size_t>* Lookup(const Tuple& key) const {
-    auto it = index_.find(key);
-    if (it == index_.end()) return nullptr;
-    return &it->second;
-  }
-
-  bool full_scan() const { return key_positions_.empty(); }
-  const Relation& relation() const { return rel_; }
-
- private:
-  const Relation& rel_;
-  std::vector<size_t> key_positions_;
-  std::unordered_map<Tuple, std::vector<size_t>> index_;
-};
+std::string RuleCacheKey(const Rule& rule, const std::string& idb_key) {
+  std::string key;
+  for (const Atom& h : rule.heads) AppendCacheKey(h, &key);
+  key += '\x05';
+  for (const Atom& b : rule.body) AppendCacheKey(b, &key);
+  key += '\x01';
+  key += idb_key;
+  return key;
+}
 
 class Evaluator {
  public:
-  Evaluator(const DatalogEngine::Options& options) : options_(options) {}
+  Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes)
+      : options_(options), edb_indexes_(edb_indexes) {}
 
-  Status Run(const Program& program, const FactDatabase& edb,
+  Status Run(const std::vector<std::shared_ptr<const CompiledRule>>& rules,
+             const FactDatabase& edb,
              const std::map<std::string, std::vector<std::string>>& idb_sigs,
              FactDatabase* out) {
-    std::set<std::string> idb;
-    for (const auto& [name, attrs] : idb_sigs) idb.insert(name);
-
-    // Validate heads against signatures; compile rules.
-    std::vector<CompiledRule> rules;
-    for (const Rule& rule : program.rules) {
-      DYNAMITE_RETURN_NOT_OK(rule.Validate());
-      for (const Atom& h : rule.heads) {
-        auto it = idb_sigs.find(h.relation);
-        if (it == idb_sigs.end()) {
-          return Status::InvalidArgument("head relation " + h.relation +
-                                         " missing from IDB signatures");
-        }
-        if (it->second.size() != h.terms.size()) {
-          return Status::InvalidArgument("arity mismatch for head relation " + h.relation);
-        }
-      }
-      for (const Atom& b : rule.body) {
-        if (idb.count(b.relation) == 0) {
-          DYNAMITE_ASSIGN_OR_RETURN(const Relation* rel, edb.Find(b.relation));
-          if (rel->arity() != b.terms.size()) {
-            return Status::InvalidArgument("arity mismatch for body relation " + b.relation +
-                                           " (expected " + std::to_string(rel->arity()) +
-                                           " got " + std::to_string(b.terms.size()) + ")");
-          }
-        }
-      }
-      DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr, CompileRule(rule, idb));
-      rules.push_back(std::move(cr));
-    }
-    // IDB body atoms must also have matching arity.
-    for (size_t ri = 0; ri < rules.size(); ++ri) {
-      for (size_t ai : rules[ri].idb_body_atoms) {
-        const CompiledAtom& ca = rules[ri].body[ai];
-        if (idb_sigs.at(ca.relation).size() != ca.slots.size()) {
-          return Status::InvalidArgument("arity mismatch for IDB body relation " + ca.relation);
-        }
-      }
-    }
-
     for (const auto& [name, attrs] : idb_sigs) {
       DYNAMITE_ASSIGN_OR_RETURN(Relation * rel, out->DeclareRelation(name, attrs));
       (void)rel;
     }
 
-    Timer timer;
-    size_t derived = 0;
+    // Semi-naive delta views: per IDB relation, the suffix [lo, hi) of the
+    // (append-only) tuple vector derived in the previous round.
+    std::map<std::string, std::pair<size_t, size_t>> delta;
+    for (const auto& [name, attrs] : idb_sigs) delta[name] = {0, 0};
 
-    // Delta relations for semi-naive iteration.
-    std::map<std::string, Relation> delta;
-    for (const auto& [name, attrs] : idb_sigs) delta.emplace(name, Relation(name, attrs));
-
-    auto emit = [&](const CompiledRule& rule, const std::vector<Value>& env,
-                    std::map<std::string, Relation>* next_delta) -> Status {
-      for (const auto& head : rule.heads) {
-        std::vector<Value> vals;
-        vals.reserve(head.slots.size());
-        for (const Slot& s : head.slots) {
-          vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
-        }
-        Tuple t(std::move(vals));
-        Relation* full = out->FindMutable(head.relation).ValueOrDie();
-        if (full->Insert(t)) {
-          ++derived;
-          if (derived > options_.max_derived_tuples) {
-            return Status::Timeout("derived tuple limit exceeded");
-          }
-          next_delta->at(head.relation).Insert(std::move(t));
-        }
-      }
-      if (options_.timeout_seconds > 0 && (derived & 0x3ff) == 0 &&
-          timer.ElapsedSeconds() > options_.timeout_seconds) {
-        return Status::Timeout("evaluation timeout");
-      }
-      return Status::OK();
-    };
-
-    // One matching pass of a rule. `delta_atom` >= 0 restricts that body
-    // atom to the previous iteration's delta.
-    auto eval_rule = [&](const CompiledRule& rule, int delta_atom,
-                         std::map<std::string, Relation>* next_delta) -> Status {
-      // Resolve relation views and build indexes.
-      std::vector<const Relation*> views(rule.body.size());
-      for (size_t i = 0; i < rule.body.size(); ++i) {
-        const std::string& rel_name = rule.body[i].relation;
-        if (static_cast<int>(i) == delta_atom) {
-          views[i] = &delta.at(rel_name);
-        } else if (idb.count(rel_name) > 0) {
-          views[i] = out->Find(rel_name).ValueOrDie();
-        } else {
-          views[i] = edb.Find(rel_name).ValueOrDie();
-        }
-        if (views[i]->empty()) return Status::OK();  // no matches possible
-      }
-      std::vector<AtomIndex> indexes;
-      indexes.reserve(rule.body.size());
-      for (size_t i = 0; i < rule.body.size(); ++i) {
-        indexes.emplace_back(*views[i], rule.body[i].key_positions);
-      }
-
-      std::vector<Value> env(static_cast<size_t>(rule.num_slots));
-      Status status = Status::OK();
-
-      // Recursive left-to-right matcher.
-      auto match = [&](auto&& self, size_t atom_idx) -> void {
-        if (!status.ok()) return;
-        if (atom_idx == rule.body.size()) {
-          status = emit(rule, env, next_delta);
-          return;
-        }
-        const CompiledAtom& ca = rule.body[atom_idx];
-        const AtomIndex& index = indexes[atom_idx];
-        const std::vector<Tuple>& tuples = index.relation().tuples();
-
-        auto try_tuple = [&](const Tuple& t) {
-          if (!status.ok()) return;
-          // Bind fresh variables, then verify within-atom repeats (a check
-          // position's variable is always bound by an earlier position of
-          // this same atom, so binding first is correct).
-          for (size_t p : ca.bind_positions) {
-            env[static_cast<size_t>(ca.slots[p].var)] = t[p];
-          }
-          for (size_t p : ca.check_positions) {
-            if (t[p] != env[static_cast<size_t>(ca.slots[p].var)]) return;
-          }
-          self(self, atom_idx + 1);
-        };
-
-        if (index.full_scan()) {
-          for (const Tuple& t : tuples) try_tuple(t);
-        } else {
-          std::vector<Value> key_vals;
-          key_vals.reserve(ca.key_positions.size());
-          for (size_t p : ca.key_positions) {
-            const Slot& s = ca.slots[p];
-            key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
-          }
-          const std::vector<size_t>* matches = index.Lookup(Tuple(std::move(key_vals)));
-          if (matches == nullptr) return;
-          for (size_t ti : *matches) try_tuple(tuples[ti]);
-        }
-      };
-      match(match, 0);
-      return status;
-    };
-
-    // Iteration 0: every rule evaluated with full views (IDB empty unless a
-    // rule derived into it earlier in this same pass — harmless, fixpoint
-    // fixes ordering).
-    std::map<std::string, Relation> next_delta;
-    for (const auto& [name, attrs] : idb_sigs) next_delta.emplace(name, Relation(name, attrs));
-    for (const CompiledRule& rule : rules) {
-      DYNAMITE_RETURN_NOT_OK(eval_rule(rule, -1, &next_delta));
+    // Pass 0: every rule over full views.
+    for (const auto& rule : rules) {
+      DYNAMITE_RETURN_NOT_OK(EvalPlan(*rule, rule->full, delta, edb, out));
     }
-    delta = std::move(next_delta);
+    bool any_delta = false;
+    for (auto& [name, range] : delta) {
+      range = {0, out->Find(name).ValueOrDie()->size()};
+      any_delta = any_delta || range.second > range.first;
+    }
+
+    bool any_recursive = false;
+    for (const auto& rule : rules) any_recursive = any_recursive || rule->has_idb_body;
 
     // Semi-naive fixpoint for recursive programs.
     size_t iterations = 0;
-    auto delta_nonempty = [&]() {
-      for (const auto& [name, rel] : delta) {
-        if (!rel.empty()) return true;
-      }
-      return false;
-    };
-    while (delta_nonempty()) {
+    while (any_recursive && any_delta) {
       if (++iterations > options_.max_iterations) {
         return Status::Timeout("fixpoint iteration limit exceeded");
       }
-      next_delta.clear();
-      for (const auto& [name, attrs] : idb_sigs) next_delta.emplace(name, Relation(name, attrs));
-      bool any_rule = false;
-      for (const CompiledRule& rule : rules) {
-        if (!rule.has_idb_body) continue;
-        any_rule = true;
-        for (size_t ai : rule.idb_body_atoms) {
-          if (delta.at(rule.body[ai].relation).empty()) continue;
-          DYNAMITE_RETURN_NOT_OK(eval_rule(rule, static_cast<int>(ai), &next_delta));
+      for (const auto& rule : rules) {
+        if (!rule->has_idb_body) continue;
+        for (size_t k = 0; k < rule->delta_plans.size(); ++k) {
+          const auto& range = delta.at(rule->idb_body_relations[k]);
+          if (range.first == range.second) continue;
+          DYNAMITE_RETURN_NOT_OK(EvalPlan(*rule, rule->delta_plans[k], delta, edb, out));
         }
       }
-      if (!any_rule) break;  // non-recursive program: done after pass 0
-      delta = std::move(next_delta);
+      any_delta = false;
+      for (auto& [name, range] : delta) {
+        size_t size = out->Find(name).ValueOrDie()->size();
+        range = {range.second, size};
+        any_delta = any_delta || range.second > range.first;
+      }
     }
     return Status::OK();
   }
 
  private:
+  /// A plan atom resolved against concrete storage: the relation, its
+  /// (possibly shared) incremental index, and the scan bounds [lo, hi).
+  struct AtomView {
+    const Relation* rel = nullptr;
+    const JoinIndex* index = nullptr;  // nullptr => positional full scan
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+
+  /// Fixed-stride timeout check: counts every join candidate and head
+  /// emission, probing the clock every 1024 ticks regardless of how many
+  /// tuples are derived (the old check keyed off the derived count and
+  /// skipped the clock 1023/1024 of the time).
+  bool TimedOut() {
+    if (++ticks_ < 1024) return false;
+    ticks_ = 0;
+    return options_.timeout_seconds > 0 &&
+           timer_.ElapsedSeconds() > options_.timeout_seconds;
+  }
+
+  Status EvalPlan(const CompiledRule& rule, const JoinPlan& plan,
+                  const std::map<std::string, std::pair<size_t, size_t>>& delta,
+                  const FactDatabase& edb, FactDatabase* out) {
+    // Resolve views and refresh indexes up front: no index is ever built
+    // inside the match loop, and IDB indexes only extend over the suffix
+    // added since the previous round.
+    std::vector<AtomView> views(plan.atoms.size());
+    for (size_t i = 0; i < plan.atoms.size(); ++i) {
+      const PlanAtom& pa = plan.atoms[i];
+      AtomView& v = views[i];
+      if (pa.is_idb) {
+        v.rel = out->Find(pa.relation).ValueOrDie();
+      } else {
+        DYNAMITE_ASSIGN_OR_RETURN(v.rel, edb.Find(pa.relation));
+      }
+      if (pa.is_delta) {
+        auto range = delta.at(pa.relation);
+        v.lo = range.first;
+        v.hi = range.second;
+      } else {
+        v.lo = 0;
+        v.hi = v.rel->size();
+      }
+      if (v.lo >= v.hi) return Status::OK();  // no matches possible
+      if (!pa.key_positions.empty()) {
+        IndexCache& cache = pa.is_idb ? idb_indexes_ : *edb_indexes_;
+        v.index = cache.Get(*v.rel, pa.key_positions);
+      }
+    }
+
+    // Head relations are fixed for the plan; resolve them once, not per
+    // emitted tuple (FactDatabase map nodes are stable under insertion).
+    std::vector<Relation*> head_rels(rule.heads.size());
+    for (size_t i = 0; i < rule.heads.size(); ++i) {
+      DYNAMITE_ASSIGN_OR_RETURN(head_rels[i], out->FindMutable(rule.heads[i].relation));
+    }
+
+    std::vector<Value> env(static_cast<size_t>(rule.num_slots));
+    Status status = Status::OK();
+
+    auto emit = [&]() {
+      for (size_t h = 0; h < rule.heads.size(); ++h) {
+        const auto& head = rule.heads[h];
+        std::vector<Value> vals;
+        vals.reserve(head.slots.size());
+        for (const Slot& s : head.slots) {
+          vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        if (head_rels[h]->Insert(Tuple(std::move(vals)))) {
+          if (++derived_ > options_.max_derived_tuples) {
+            status = Status::Timeout("derived tuple limit exceeded");
+            return;
+          }
+        }
+      }
+      if (TimedOut()) status = Status::Timeout("evaluation timeout");
+    };
+
+    // Recursive left-to-right matcher over the plan's atom order.
+    auto match = [&](auto&& self, size_t atom_idx) -> void {
+      if (!status.ok()) return;
+      if (atom_idx == plan.atoms.size()) {
+        emit();
+        return;
+      }
+      const PlanAtom& pa = plan.atoms[atom_idx];
+      const AtomView& v = views[atom_idx];
+
+      // Inspects the tuple at index ti. Re-fetches storage on every call:
+      // emit() appends to IDB relations mid-scan, which can reallocate the
+      // tuple vector (the pre-rewrite engine held references across the
+      // append and crashed on recursive programs at bench scale).
+      auto try_tuple = [&](size_t ti) {
+        if (!status.ok()) return;
+        if (TimedOut()) {
+          status = Status::Timeout("evaluation timeout");
+          return;
+        }
+        const Tuple& t = v.rel->tuples()[ti];
+        for (size_t p : pa.bind_positions) {
+          env[static_cast<size_t>(pa.slots[p].var)] = t[p];
+        }
+        for (size_t p : pa.check_positions) {
+          if (t[p] != env[static_cast<size_t>(pa.slots[p].var)]) return;
+        }
+        // `t` must not be touched past this point (emit may reallocate).
+        self(self, atom_idx + 1);
+      };
+
+      if (v.index == nullptr) {
+        for (size_t ti = v.lo; ti < v.hi && status.ok(); ++ti) try_tuple(ti);
+      } else {
+        std::vector<Value> key_vals;
+        key_vals.reserve(pa.key_positions.size());
+        for (size_t p : pa.key_positions) {
+          const Slot& s = pa.slots[p];
+          key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        const std::vector<uint32_t>* matches = v.index->Lookup(Tuple(std::move(key_vals)));
+        if (matches == nullptr) return;
+        // Posting lists are sorted ascending; restrict to [lo, hi).
+        auto it = std::lower_bound(matches->begin(), matches->end(),
+                                   static_cast<uint32_t>(v.lo));
+        for (; it != matches->end() && *it < v.hi && status.ok(); ++it) try_tuple(*it);
+      }
+    };
+    match(match, 0);
+    return status;
+  }
+
   DatalogEngine::Options options_;
+  IndexCache* edb_indexes_;   // persistent across Eval calls (engine-owned)
+  IndexCache idb_indexes_;    // per-Eval: IDB relations are fresh each run
+  Timer timer_;
+  size_t derived_ = 0;
+  size_t ticks_ = 0;
 };
 
 }  // namespace
 
+/// Persistent evaluation state: EDB join indexes and compiled rules reused
+/// across Eval calls (see header comment on staleness trade-offs).
+struct DatalogEngine::Caches {
+  IndexCache edb_indexes;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledRule>> rules;
+
+  static constexpr size_t kMaxRules = 8192;
+};
+
+DatalogEngine::DatalogEngine() : DatalogEngine(Options()) {}
+DatalogEngine::DatalogEngine(Options options)
+    : options_(options), caches_(std::make_unique<Caches>()) {}
+DatalogEngine::~DatalogEngine() = default;
+DatalogEngine::DatalogEngine(DatalogEngine&&) noexcept = default;
+DatalogEngine& DatalogEngine::operator=(DatalogEngine&&) noexcept = default;
+
 Result<FactDatabase> DatalogEngine::Eval(
     const Program& program, const FactDatabase& edb,
     const std::map<std::string, std::vector<std::string>>& idb_signatures) const {
+  std::set<std::string> idb;
+  std::string idb_key;
+  for (const auto& [name, attrs] : idb_signatures) {
+    idb.insert(name);
+    idb_key += name;
+    idb_key += ',';
+  }
+
+  // Validate heads against signatures and body atoms against storage.
+  for (const Rule& rule : program.rules) {
+    DYNAMITE_RETURN_NOT_OK(rule.Validate());
+    for (const Atom& h : rule.heads) {
+      auto it = idb_signatures.find(h.relation);
+      if (it == idb_signatures.end()) {
+        return Status::InvalidArgument("head relation " + h.relation +
+                                       " missing from IDB signatures");
+      }
+      if (it->second.size() != h.terms.size()) {
+        return Status::InvalidArgument("arity mismatch for head relation " + h.relation);
+      }
+    }
+    for (const Atom& b : rule.body) {
+      if (idb.count(b.relation) > 0) {
+        if (idb_signatures.at(b.relation).size() != b.terms.size()) {
+          return Status::InvalidArgument("arity mismatch for IDB body relation " +
+                                         b.relation);
+        }
+      } else {
+        DYNAMITE_ASSIGN_OR_RETURN(const Relation* rel, edb.Find(b.relation));
+        if (rel->arity() != b.terms.size()) {
+          return Status::InvalidArgument("arity mismatch for body relation " + b.relation +
+                                         " (expected " + std::to_string(rel->arity()) +
+                                         " got " + std::to_string(b.terms.size()) + ")");
+        }
+      }
+    }
+  }
+
+  // Compile (or fetch cached) rules.
+  std::vector<std::shared_ptr<const CompiledRule>> rules;
+  rules.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) {
+    if (options_.cache_compiled_rules) {
+      std::string key = RuleCacheKey(rule, idb_key);
+      auto it = caches_->rules.find(key);
+      if (it != caches_->rules.end()) {
+        rules.push_back(it->second);
+        continue;
+      }
+      DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
+                                CompileRule(rule, idb, edb, options_.reorder_joins));
+      if (caches_->rules.size() >= Caches::kMaxRules) caches_->rules.clear();
+      auto shared = std::make_shared<const CompiledRule>(std::move(cr));
+      caches_->rules.emplace(std::move(key), shared);
+      rules.push_back(std::move(shared));
+    } else {
+      DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
+                                CompileRule(rule, idb, edb, options_.reorder_joins));
+      rules.push_back(std::make_shared<const CompiledRule>(std::move(cr)));
+    }
+  }
+
   FactDatabase out;
-  Evaluator evaluator(options_);
-  DYNAMITE_RETURN_NOT_OK(evaluator.Run(program, edb, idb_signatures, &out));
+  caches_->edb_indexes.MaybeEvict();  // safe here: no plan holds index pointers
+  Evaluator evaluator(options_, &caches_->edb_indexes);
+  DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out));
   return out;
 }
 

@@ -6,14 +6,30 @@
 // recursive programs are handled with semi-naive fixpoint iteration, so the
 // engine is a complete substrate rather than a special case.
 //
-// Join strategy: per rule, body atoms are matched left-to-right; for each
-// atom a hash index is built on the positions bound by constants or by
-// earlier atoms, so each join step is a hash lookup rather than a scan.
+// Performance architecture (see src/datalog/README.md for the full picture):
+//
+//   * Rules compile to join plans whose body atoms are reordered by
+//     estimated selectivity (bound-position count, then relation
+//     cardinality); each plan step is a hash-index lookup on the positions
+//     bound by constants or earlier atoms.
+//   * Join indexes are persistent and incremental (src/datalog/index.h).
+//     EDB indexes survive across Eval calls on the same engine — the
+//     synthesizer evaluates thousands of candidate programs against one
+//     example instance, paying each index build once. IDB indexes are
+//     extended, never rebuilt, as the fixpoint derives tuples; semi-naive
+//     deltas are suffix ranges of the append-only tuple vectors.
+//   * Compiled rules are cached across Eval calls (keyed by rule text and
+//     IDB signature), so repeated candidate checks skip recompilation. Join
+//     orders are chosen with the cardinalities seen at first compile; stale
+//     statistics can cost performance but never correctness.
+//
+// The engine is single-threaded and move-only (it owns the caches above).
 
 #ifndef DYNAMITE_DATALOG_ENGINE_H_
 #define DYNAMITE_DATALOG_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,12 +49,21 @@ class DatalogEngine {
     /// when exceeded (guards against pathological joins, cf. §6.2 of the
     /// paper where random examples cause very large intermediate outputs).
     size_t max_derived_tuples = 20'000'000;
-    /// Wall-clock budget in seconds; <= 0 disables the check.
+    /// Wall-clock budget in seconds; <= 0 disables the check. Checked every
+    /// 1024 join-candidate inspections (a fixed stride independent of how
+    /// many tuples happen to be derived).
     double timeout_seconds = 0;
+    /// Reorder body atoms by estimated selectivity at compile time.
+    bool reorder_joins = true;
+    /// Cache compiled rules across Eval calls on this engine.
+    bool cache_compiled_rules = true;
   };
 
-  DatalogEngine() : options_(Options()) {}
-  explicit DatalogEngine(Options options) : options_(options) {}
+  DatalogEngine();
+  explicit DatalogEngine(Options options);
+  ~DatalogEngine();
+  DatalogEngine(DatalogEngine&&) noexcept;
+  DatalogEngine& operator=(DatalogEngine&&) noexcept;
 
   /// Evaluates `program` on `edb`. `idb_signatures` names the attributes of
   /// every intensional relation (relation -> attribute names); arities must
@@ -55,6 +80,10 @@ class DatalogEngine {
 
  private:
   Options options_;
+  /// Persistent EDB join indexes + compiled-rule cache; logically part of
+  /// evaluation state, hence mutable behind const Eval.
+  struct Caches;
+  mutable std::unique_ptr<Caches> caches_;
 };
 
 }  // namespace dynamite

@@ -1,0 +1,117 @@
+// Persistent, incrementally-maintained join indexes for the Datalog engine.
+//
+// A JoinIndex maps a key projection (fixed column positions) of a relation's
+// tuples to the list of tuple indices carrying that key. Because Relations
+// are append-only, an index is extended by scanning only the suffix of the
+// tuple vector added since the last Refresh — it is never rebuilt. The
+// engine keeps one index per (relation instance, key positions):
+//
+//   * EDB indexes live in the engine and survive across Eval calls, so the
+//     synthesizer's thousands of candidate evaluations against the same
+//     example instance pay the index build exactly once.
+//   * IDB indexes live for one Eval and are extended as the fixpoint derives
+//     new tuples; semi-naive deltas are *views* — suffix ranges [lo, hi) of
+//     the tuple vector — not separate materialized relations.
+//
+// Per-key posting lists are sorted ascending by construction (tuples are
+// indexed in insertion order), which is what makes range-restricted lookups
+// (the delta views) a lower_bound away.
+
+#ifndef DYNAMITE_DATALOG_INDEX_H_
+#define DYNAMITE_DATALOG_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "value/relation.h"
+
+namespace dynamite {
+
+/// Hash index of one relation on a fixed set of key positions, extended
+/// incrementally as the relation grows.
+class JoinIndex {
+ public:
+  explicit JoinIndex(std::vector<size_t> key_positions)
+      : key_positions_(std::move(key_positions)) {}
+
+  /// Indexes tuples [indexed_upto, rel.size()); no-op when up to date.
+  /// `rel` must be the same logical relation on every call.
+  void Refresh(const Relation& rel) {
+    const std::vector<Tuple>& tuples = rel.tuples();
+    for (size_t i = indexed_upto_; i < tuples.size(); ++i) {
+      buckets_[tuples[i].Project(key_positions_)].push_back(static_cast<uint32_t>(i));
+    }
+    indexed_upto_ = tuples.size();
+  }
+
+  /// Tuple indices with the given key, sorted ascending; nullptr if none.
+  const std::vector<uint32_t>* Lookup(const Tuple& key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  size_t indexed_upto() const { return indexed_upto_; }
+  const std::vector<size_t>& key_positions() const { return key_positions_; }
+
+ private:
+  std::vector<size_t> key_positions_;
+  size_t indexed_upto_ = 0;
+  std::unordered_map<Tuple, std::vector<uint32_t>> buckets_;
+};
+
+/// Cache of JoinIndexes keyed by (relation uid, key positions). Get()
+/// refreshes the index to cover the relation's current size, so callers
+/// always see a complete index up to their snapshot point.
+class IndexCache {
+ public:
+  /// The index for (rel, key_positions), created on first use and refreshed
+  /// to rel.size(). The returned pointer is stable until Clear(); Get never
+  /// evicts (callers hold raw pointers across a join plan — see
+  /// MaybeEvict).
+  JoinIndex* Get(const Relation& rel, const std::vector<size_t>& key_positions) {
+    Key key{rel.uid(), key_positions};
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      it = entries_.emplace(std::move(key), std::make_unique<JoinIndex>(key_positions)).first;
+    }
+    it->second->Refresh(rel);
+    return it->second.get();
+  }
+
+  /// Bounds memory across long synthesizer sessions: a stale uid (destroyed
+  /// relation) can never be queried again, so wholesale clearing is safe —
+  /// but only between evaluations, when no JoinIndex pointers are live.
+  /// The engine calls this at Eval entry, never mid-plan.
+  void MaybeEvict() {
+    if (entries_.size() > kMaxEntries) Clear();
+  }
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  static constexpr size_t kMaxEntries = 1024;
+
+  struct Key {
+    uint64_t uid;
+    std::vector<size_t> positions;
+    bool operator==(const Key& o) const {
+      return uid == o.uid && positions == o.positions;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t seed = k.uid;
+      for (size_t p : k.positions) HashCombine(&seed, p);
+      return seed;
+    }
+  };
+
+  std::unordered_map<Key, std::unique_ptr<JoinIndex>, KeyHash> entries_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_DATALOG_INDEX_H_

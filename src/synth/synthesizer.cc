@@ -26,7 +26,8 @@ class RuleSynthesizer {
         target_(target),
         sketch_(std::move(sketch)),
         edb_(edb),
-        options_(options) {
+        options_(options),
+        engine_(MakeEngine(options)) {
     // Expected output restricted to this rule's record tree.
     for (const RecordNode& root : example.output.roots) {
       if (root.type == sketch_.target_record) expected_.roots.push_back(root);
@@ -59,11 +60,6 @@ class RuleSynthesizer {
           solver_.AddConstraint(FdExpr::Not(ModelEquality(encoding_, last_success_))));
       have_last_success_ = false;
     }
-    DatalogEngine::Options eval_opts;
-    eval_opts.timeout_seconds = options_.eval_timeout_seconds;
-    eval_opts.max_derived_tuples = options_.eval_max_tuples;
-    DatalogEngine engine(eval_opts);
-
     for (;;) {
       if (timer.ElapsedSeconds() > deadline_seconds) {
         return Status::Timeout("synthesis timeout for record " + sketch_.target_record);
@@ -88,7 +84,7 @@ class RuleSynthesizer {
 
       Program candidate;
       candidate.rules.push_back(rule);
-      auto eval = engine.Eval(candidate, edb_, idb_sigs_);
+      auto eval = engine_.Eval(candidate, edb_, idb_sigs_);
       if (!eval.ok()) {
         if (eval.status().code() == StatusCode::kTimeout) {
           // Candidate too expensive to evaluate: block exactly this model.
@@ -128,11 +124,21 @@ class RuleSynthesizer {
   const std::string& target_record() const { return sketch_.target_record; }
 
  private:
+  static DatalogEngine MakeEngine(const SynthesisOptions& options) {
+    DatalogEngine::Options eval_opts;
+    eval_opts.timeout_seconds = options.eval_timeout_seconds;
+    eval_opts.max_derived_tuples = options.eval_max_tuples;
+    return DatalogEngine(eval_opts);
+  }
+
   const Schema& source_;
   const Schema& target_;
   RuleSketch sketch_;
   const FactDatabase& edb_;
   const SynthesisOptions& options_;
+  /// One engine for the whole enumeration: EDB join indexes and compiled
+  /// candidate rules persist across the thousands of Eval calls below.
+  DatalogEngine engine_;
 
   RecordForest expected_;
   std::vector<std::string> expected_canon_;

@@ -15,6 +15,17 @@ void HashCombine(size_t* seed, const T& v) {
   *seed ^= std::hash<T>{}(v) + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
 }
 
+/// splitmix64 finalizer: full-avalanche mixing of a 64-bit word. Needed
+/// wherever hash values feed power-of-two-masked tables: std::hash of an
+/// integer is the identity on libstdc++, and dense ids (interned strings,
+/// sequential ints) cluster badly without it.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace dynamite
 
 #endif  // DYNAMITE_UTIL_HASH_H_

@@ -1,18 +1,109 @@
 #include "value/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <utility>
 
 #include "util/strings.h"
 
 namespace dynamite {
 
+namespace {
+
+uint64_t NextUid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Relation::Relation() : uid_(NextUid()) {}
+
+Relation::Relation(std::string name, std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)), uid_(NextUid()) {}
+
+Relation::Relation(const Relation& other)
+    : name_(other.name_),
+      attributes_(other.attributes_),
+      tuples_(other.tuples_),
+      slots_(other.slots_),
+      uid_(NextUid()) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    attributes_ = other.attributes_;
+    tuples_ = other.tuples_;
+    slots_ = other.slots_;
+    uid_ = NextUid();
+  }
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : name_(std::move(other.name_)),
+      attributes_(std::move(other.attributes_)),
+      tuples_(std::move(other.tuples_)),
+      slots_(std::move(other.slots_)),
+      uid_(other.uid_) {
+  other.uid_ = NextUid();
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    attributes_ = std::move(other.attributes_);
+    tuples_ = std::move(other.tuples_);
+    slots_ = std::move(other.slots_);
+    uid_ = other.uid_;
+    other.uid_ = NextUid();
+  }
+  return *this;
+}
+
+void Relation::Rehash(size_t new_slot_count) {
+  slots_.assign(new_slot_count, kEmptySlot);
+  size_t mask = new_slot_count - 1;
+  for (size_t idx = 0; idx < tuples_.size(); ++idx) {
+    size_t i = tuples_[idx].Hash() & mask;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(idx);
+  }
+}
+
 bool Relation::Insert(Tuple t) {
   assert(t.arity() == arity());
-  auto [it, inserted] = index_.insert(t);
-  (void)it;
-  if (inserted) tuples_.push_back(std::move(t));
-  return inserted;
+  // Grow at 3/4 load (slot count is a power of two).
+  if (slots_.empty()) {
+    Rehash(16);
+  } else if ((tuples_.size() + 1) * 4 > slots_.size() * 3) {
+    Rehash(slots_.size() * 2);
+  }
+  size_t h = t.Hash();
+  size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (slots_[i] != kEmptySlot) {
+    const Tuple& existing = tuples_[slots_[i]];
+    if (existing.Hash() == h && existing == t) return false;
+    i = (i + 1) & mask;
+  }
+  slots_[i] = static_cast<uint32_t>(tuples_.size());
+  tuples_.push_back(std::move(t));
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  if (slots_.empty()) return false;
+  size_t h = t.Hash();
+  size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (slots_[i] != kEmptySlot) {
+    const Tuple& existing = tuples_[slots_[i]];
+    if (existing.Hash() == h && existing == t) return true;
+    i = (i + 1) & mask;
+  }
+  return false;
 }
 
 Result<size_t> Relation::AttributeIndex(const std::string& attribute) const {

@@ -4,12 +4,20 @@
 // set semantics. Attribute names are carried so that projections — used
 // heavily by attribute-mapping inference (§4.1) and MDP analysis (§4.3) —
 // can be expressed by name.
+//
+// Storage is a single insertion-ordered tuple vector plus an open-addressing
+// hash-to-index table (indices into the vector), so each tuple is stored
+// once; the old design kept a second full copy of every tuple in an
+// unordered_set. Relations are append-only, which is what lets the Datalog
+// engine maintain incremental join indexes as suffix extensions (see
+// src/datalog/index.h): `uid()` identifies this relation instance and
+// `tuples()` only ever grows.
 
 #ifndef DYNAMITE_VALUE_RELATION_H_
 #define DYNAMITE_VALUE_RELATION_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "util/result.h"
@@ -20,11 +28,20 @@ namespace dynamite {
 /// A named set of equal-arity tuples.
 class Relation {
  public:
-  Relation() = default;
+  Relation();
 
   /// Creates an empty relation with the given name and attribute names.
-  Relation(std::string name, std::vector<std::string> attributes)
-      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+  Relation(std::string name, std::vector<std::string> attributes);
+
+  /// Copies take a fresh uid: the copy's contents diverge from the
+  /// original's, so cached indexes keyed on uid must not apply to it.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  /// Moves transfer the uid to the moved-to object (same logical relation);
+  /// the moved-from object gets a fresh uid so that, if reused, it cannot
+  /// impersonate the transferred identity in uid-keyed index caches.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   const std::string& name() const { return name_; }
   const std::vector<std::string>& attributes() const { return attributes_; }
@@ -32,14 +49,20 @@ class Relation {
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
 
+  /// Process-unique identity of this relation instance; used as a cache key
+  /// by the engine's persistent join indexes. Stable under moves and
+  /// appends, refreshed on copy.
+  uint64_t uid() const { return uid_; }
+
   /// Inserts a tuple; returns true if it was not already present.
   /// The tuple arity must match the relation arity.
   bool Insert(Tuple t);
 
   /// True if the tuple is present.
-  bool Contains(const Tuple& t) const { return index_.count(t) > 0; }
+  bool Contains(const Tuple& t) const;
 
-  /// All tuples, in insertion order (deterministic iteration).
+  /// All tuples, in insertion order (deterministic iteration). Appended to
+  /// by Insert, never reordered or shrunk.
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
   /// Index of the attribute with the given name.
@@ -60,10 +83,18 @@ class Relation {
   std::string ToString() const;
 
  private:
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  /// Doubles (or initializes) the slot table and reinserts all indices.
+  void Rehash(size_t new_slot_count);
+
   std::string name_;
   std::vector<std::string> attributes_;
   std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple> index_;
+  /// Open-addressing (linear probing) table of indices into tuples_;
+  /// kEmptySlot marks a free slot. Size is always a power of two.
+  std::vector<uint32_t> slots_;
+  uint64_t uid_;
 };
 
 }  // namespace dynamite

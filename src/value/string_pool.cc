@@ -1,0 +1,19 @@
+#include "value/string_pool.h"
+
+namespace dynamite {
+
+StringPool& StringPool::Global() {
+  static StringPool* pool = new StringPool();  // never destroyed: ids and
+  return *pool;                                // references outlive statics
+}
+
+uint32_t StringPool::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+}  // namespace dynamite

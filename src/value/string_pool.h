@@ -1,0 +1,52 @@
+// StringPool: process-wide string interning for Value.
+//
+// Every distinct string stored in a Value is interned once and identified by
+// a dense 32-bit id. This makes string Values 16-byte PODs with O(1)
+// equality and hashing — the synthesizer's inner loop compares millions of
+// string cells per second while checking candidate Datalog programs, so this
+// is the single biggest lever on evaluation throughput (ISSUE 1 tentpole).
+//
+// Interned strings live for the lifetime of the process (a deliberate
+// trade-off: the synthesizer re-reads the same example instances thousands
+// of times, so the working set of distinct strings is small and stable).
+//
+// The pool is NOT thread-safe; the engine and synthesizer are
+// single-threaded. Revisit when the parallel-fixpoint roadmap item lands.
+
+#ifndef DYNAMITE_VALUE_STRING_POOL_H_
+#define DYNAMITE_VALUE_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dynamite {
+
+/// Maps strings to dense 32-bit ids and back. Ids are stable for the
+/// lifetime of the pool, and so are the `const std::string&` references
+/// returned by Get (storage is a deque; entries never move).
+class StringPool {
+ public:
+  /// The process-wide pool used by Value.
+  static StringPool& Global();
+
+  /// Returns the id of `s`, interning it on first sight.
+  uint32_t Intern(std::string_view s);
+
+  /// The string with the given id; reference is stable forever.
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;
+  // Keys are views into strings_ entries (stable storage).
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_VALUE_STRING_POOL_H_

@@ -13,6 +13,10 @@ namespace dynamite {
 
 /// A row of Values; the basic unit stored in relations and produced by
 /// Datalog evaluation.
+///
+/// The hash is memoized: relations and join indexes hash every tuple they
+/// touch, and with 16-byte POD Values the hash is the dominant per-tuple
+/// cost. Any mutation (Append, non-const operator[]) invalidates the cache.
 class Tuple {
  public:
   Tuple() = default;
@@ -21,11 +25,17 @@ class Tuple {
 
   size_t arity() const { return values_.size(); }
   const Value& operator[](size_t i) const { return values_[i]; }
-  Value& operator[](size_t i) { return values_[i]; }
+  Value& operator[](size_t i) {
+    hash_cache_ = 0;  // caller may write through the reference
+    return values_[i];
+  }
 
   const std::vector<Value>& values() const { return values_; }
 
-  void Append(Value v) { values_.push_back(std::move(v)); }
+  void Append(Value v) {
+    values_.push_back(v);
+    hash_cache_ = 0;
+  }
 
   /// Projection onto the given column indices, in the given order.
   Tuple Project(const std::vector<size_t>& columns) const;
@@ -33,14 +43,26 @@ class Tuple {
   /// "(v1, v2, ...)" canonical form.
   std::string ToString() const;
 
-  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator==(const Tuple& other) const {
+    if (hash_cache_ != 0 && other.hash_cache_ != 0 && hash_cache_ != other.hash_cache_) {
+      return false;
+    }
+    return values_ == other.values_;
+  }
   bool operator!=(const Tuple& other) const { return !(*this == other); }
   bool operator<(const Tuple& other) const { return values_ < other.values_; }
 
-  size_t Hash() const;
+  /// Memoized hash (never 0; 0 is the "unset" sentinel).
+  size_t Hash() const {
+    if (hash_cache_ == 0) hash_cache_ = ComputeHash();
+    return hash_cache_;
+  }
 
  private:
+  size_t ComputeHash() const;
+
   std::vector<Value> values_;
+  mutable size_t hash_cache_ = 0;
 };
 
 }  // namespace dynamite

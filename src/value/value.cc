@@ -48,7 +48,7 @@ std::string Value::ToString() const {
 }
 
 bool Value::operator<(const Value& other) const {
-  if (rep_.index() != other.rep_.index()) return rep_.index() < other.rep_.index();
+  if (kind_ != other.kind_) return kind_ < other.kind_;
   switch (kind()) {
     case ValueKind::kNull:
       return false;
@@ -59,35 +59,13 @@ bool Value::operator<(const Value& other) const {
     case ValueKind::kBool:
       return AsBool() < other.AsBool();
     case ValueKind::kString:
-      return AsString() < other.AsString();
+      // Interned ids are assigned in first-sight order, so ordering must go
+      // through the pool to stay lexicographic.
+      return str_ != other.str_ && AsString() < other.AsString();
     case ValueKind::kId:
       return AsId() < other.AsId();
   }
   return false;
-}
-
-size_t Value::Hash() const {
-  size_t seed = static_cast<size_t>(kind());
-  switch (kind()) {
-    case ValueKind::kNull:
-      break;
-    case ValueKind::kInt:
-      HashCombine(&seed, AsInt());
-      break;
-    case ValueKind::kFloat:
-      HashCombine(&seed, AsFloat());
-      break;
-    case ValueKind::kBool:
-      HashCombine(&seed, AsBool());
-      break;
-    case ValueKind::kString:
-      HashCombine(&seed, AsString());
-      break;
-    case ValueKind::kId:
-      HashCombine(&seed, AsId());
-      break;
-  }
-  return seed;
 }
 
 }  // namespace dynamite

@@ -5,6 +5,11 @@
 // datasets) plus an internal Id type used for the record identifiers `Id(r)`
 // introduced by the instance-to-facts conversion (§3.3). Ids compare equal
 // only to the same id and never collide with user data.
+//
+// Representation: a 16-byte tagged POD. Strings are interned in the global
+// StringPool and held by 32-bit id, so copying a Value never allocates and
+// string equality/hash are O(1). Ordering of strings is still lexicographic
+// (it goes through the pool), keeping canonical printouts stable.
 
 #ifndef DYNAMITE_VALUE_VALUE_H_
 #define DYNAMITE_VALUE_VALUE_H_
@@ -12,13 +17,16 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <variant>
+#include <string_view>
 
 #include "util/hash.h"
+#include "value/string_pool.h"
 
 namespace dynamite {
 
-/// Kind tag of a Value.
+/// Kind tag of a Value. Enumerator order defines cross-kind ordering
+/// (Null < Int < Float < Bool < String < Id), which matches the historical
+/// variant-index order and is relied on by sorted printouts.
 enum class ValueKind : uint8_t {
   kNull = 0,
   kInt,
@@ -35,56 +43,105 @@ const char* ValueKindToString(ValueKind kind);
 ///
 /// Values are totally ordered (first by kind, then by payload) so they can be
 /// used in ordered containers and canonical printouts; equality is exact.
+/// Trivially copyable: 16 bytes, no heap traffic.
 class Value {
  public:
   /// Null value.
-  Value() : rep_(std::monostate{}) {}
+  Value() : kind_(ValueKind::kNull), bits_(0) {}
 
   static Value Null() { return Value(); }
-  static Value Int(int64_t v) { return Value(Rep(v)); }
-  static Value Float(double v) { return Value(Rep(v)); }
-  static Value Bool(bool v) { return Value(Rep(v)); }
-  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Int(int64_t v) {
+    Value out(ValueKind::kInt);
+    out.int_ = v;
+    return out;
+  }
+  static Value Float(double v) {
+    Value out(ValueKind::kFloat);
+    out.float_ = v;
+    return out;
+  }
+  static Value Bool(bool v) {
+    Value out(ValueKind::kBool);
+    out.bool_ = v;
+    return out;
+  }
+  static Value String(std::string_view v) {
+    Value out(ValueKind::kString);
+    out.str_ = StringPool::Global().Intern(v);
+    return out;
+  }
   /// An internal record identifier; `raw` must be unique per record.
-  static Value Id(uint64_t raw) { return Value(Rep(IdRep{raw})); }
+  static Value Id(uint64_t raw) {
+    Value out(ValueKind::kId);
+    out.id_ = raw;
+    return out;
+  }
+  /// A string Value from an already-interned pool id.
+  static Value InternedString(uint32_t pool_id) {
+    Value out(ValueKind::kString);
+    out.str_ = pool_id;
+    return out;
+  }
 
-  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
-  bool is_null() const { return kind() == ValueKind::kNull; }
-  bool is_int() const { return kind() == ValueKind::kInt; }
-  bool is_float() const { return kind() == ValueKind::kFloat; }
-  bool is_bool() const { return kind() == ValueKind::kBool; }
-  bool is_string() const { return kind() == ValueKind::kString; }
-  bool is_id() const { return kind() == ValueKind::kId; }
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_float() const { return kind_ == ValueKind::kFloat; }
+  bool is_bool() const { return kind_ == ValueKind::kBool; }
+  bool is_string() const { return kind_ == ValueKind::kString; }
+  bool is_id() const { return kind_ == ValueKind::kId; }
 
   /// Payload accessors; behaviour is undefined if the kind does not match.
-  int64_t AsInt() const { return std::get<int64_t>(rep_); }
-  double AsFloat() const { return std::get<double>(rep_); }
-  bool AsBool() const { return std::get<bool>(rep_); }
-  const std::string& AsString() const { return std::get<std::string>(rep_); }
-  uint64_t AsId() const { return std::get<IdRep>(rep_).raw; }
+  int64_t AsInt() const { return int_; }
+  double AsFloat() const { return float_; }
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return StringPool::Global().Get(str_); }
+  uint64_t AsId() const { return id_; }
+  /// Pool id of a string Value (only for strings).
+  uint32_t string_id() const { return str_; }
 
   /// Canonical textual form ("42", "3.5", "true", "\"abc\"", "@17", "null").
   std::string ToString() const;
 
-  bool operator==(const Value& other) const { return rep_ == other.rep_; }
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    // Floats compare by value (-0.0 == 0.0, NaN != NaN), everything else by
+    // payload bits. Unused payload bytes are zeroed at construction.
+    if (kind_ == ValueKind::kFloat) return float_ == other.float_;
+    return bits_ == other.bits_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const;
 
-  /// Hash suitable for unordered containers.
-  size_t Hash() const;
+  /// Hash suitable for unordered containers. O(1) for every kind, with
+  /// full avalanche mixing (payloads are often dense small integers —
+  /// interned string ids, sequential ints — and downstream tables mask with
+  /// powers of two).
+  size_t Hash() const {
+    if (kind_ == ValueKind::kFloat) {
+      // Hash floats by value so hash(-0.0) == hash(0.0) matches equality.
+      size_t seed = static_cast<size_t>(kind_);
+      HashCombine(&seed, float_);
+      return seed;
+    }
+    return Mix64(bits_ + (static_cast<uint64_t>(kind_) << 56));
+  }
 
  private:
-  struct IdRep {
-    uint64_t raw;
-    bool operator==(const IdRep& o) const { return raw == o.raw; }
-    bool operator<(const IdRep& o) const { return raw < o.raw; }
+  explicit Value(ValueKind kind) : kind_(kind), bits_(0) {}
+
+  ValueKind kind_;
+  union {
+    int64_t int_;
+    double float_;
+    bool bool_;
+    uint32_t str_;   ///< StringPool id
+    uint64_t id_;
+    uint64_t bits_;  ///< raw payload view for equality/hash
   };
-  using Rep = std::variant<std::monostate, int64_t, double, bool, std::string, IdRep>;
-
-  explicit Value(Rep rep) : rep_(std::move(rep)) {}
-
-  Rep rep_;
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte POD");
 
 }  // namespace dynamite
 
