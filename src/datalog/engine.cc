@@ -59,6 +59,10 @@ struct CompiledRule {
   std::vector<std::string> idb_body_relations;  // parallel to delta_plans
   JoinPlan full;
   std::vector<JoinPlan> delta_plans;
+  /// EDB body relation cardinalities observed when the join order was
+  /// chosen; the statistics-refresh check compares them against current
+  /// sizes to decide whether a cached plan is stale (≥4x drift).
+  std::vector<std::pair<std::string, size_t>> edb_stats;
 };
 
 /// Uncompiled body atom with its variable slots resolved.
@@ -176,6 +180,9 @@ Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& 
     } else {
       auto rel = edb.Find(atom.relation);
       raw.cardinality = rel.ok() ? rel.ValueOrDie()->size() : kIdbCardinality;
+      bool seen = false;
+      for (const auto& [name, size] : out.edb_stats) seen = seen || name == atom.relation;
+      if (!seen && rel.ok()) out.edb_stats.emplace_back(atom.relation, raw.cardinality);
     }
     for (const Term& t : atom.terms) {
       Slot s;
@@ -275,6 +282,27 @@ void AppendCacheKey(const Atom& atom, std::string* key) {
     *key += '\x03';
   }
   *key += '\x04';
+}
+
+/// True when `current` has drifted ≥4x from `planned` in either direction
+/// (including empty -> non-empty, where any join order chosen for an empty
+/// relation is uninformed).
+bool CardinalityDrifted(size_t planned, size_t current) {
+  if (planned == current) return false;
+  size_t lo = std::min(planned, current);
+  size_t hi = std::max(planned, current);
+  return hi >= lo * 4;
+}
+
+/// A cached plan is stale when any EDB body relation's cardinality has
+/// drifted ≥4x from the size seen when the join order was chosen.
+bool PlanIsStale(const CompiledRule& rule, const FactDatabase& edb) {
+  for (const auto& [name, planned] : rule.edb_stats) {
+    auto rel = edb.Find(name);
+    size_t current = rel.ok() ? rel.ValueOrDie()->size() : 0;
+    if (CardinalityDrifted(planned, current)) return true;
+  }
+  return false;
 }
 
 std::string RuleCacheKey(const Rule& rule, const std::string& idb_key) {
@@ -402,17 +430,24 @@ class Evaluator {
     }
 
     std::vector<Value> env(static_cast<size_t>(rule.num_slots));
+    // Reusable probe-key buffers, one per plan depth (the matcher recurses,
+    // so a single shared buffer would be clobbered by deeper atoms), and one
+    // reusable head-row buffer: the inner loops allocate nothing.
+    std::vector<std::vector<Value>> key_bufs(plan.atoms.size());
+    for (size_t i = 0; i < plan.atoms.size(); ++i) {
+      key_bufs[i].reserve(plan.atoms[i].key_positions.size());
+    }
+    std::vector<Value> head_buf;
     Status status = Status::OK();
 
     auto emit = [&]() {
       for (size_t h = 0; h < rule.heads.size(); ++h) {
         const auto& head = rule.heads[h];
-        std::vector<Value> vals;
-        vals.reserve(head.slots.size());
+        head_buf.clear();
         for (const Slot& s : head.slots) {
-          vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+          head_buf.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
         }
-        if (head_rels[h]->Insert(Tuple(std::move(vals)))) {
+        if (head_rels[h]->InsertRow(head_buf.data(), head_buf.size())) {
           if (++derived_ > options_.max_derived_tuples) {
             status = Status::Timeout("derived tuple limit exceeded");
             return;
@@ -432,42 +467,43 @@ class Evaluator {
       const PlanAtom& pa = plan.atoms[atom_idx];
       const AtomView& v = views[atom_idx];
 
-      // Inspects the tuple at index ti. Re-fetches storage on every call:
-      // emit() appends to IDB relations mid-scan, which can reallocate the
-      // tuple vector (the pre-rewrite engine held references across the
-      // append and crashed on recursive programs at bench scale).
-      auto try_tuple = [&](size_t ti) {
+      // Inspects the row at index ti, reading only the bind/check columns
+      // (columnar storage: the other columns are never touched). cell()
+      // re-fetches column storage on every read: emit() appends to IDB
+      // relations mid-scan, which can reallocate the column vectors (the
+      // pre-rewrite engine held references across the append and crashed on
+      // recursive programs at bench scale).
+      auto try_row = [&](size_t ti) {
         if (!status.ok()) return;
         if (TimedOut()) {
           status = Status::Timeout("evaluation timeout");
           return;
         }
-        const Tuple& t = v.rel->tuples()[ti];
         for (size_t p : pa.bind_positions) {
-          env[static_cast<size_t>(pa.slots[p].var)] = t[p];
+          env[static_cast<size_t>(pa.slots[p].var)] = v.rel->cell(ti, p);
         }
         for (size_t p : pa.check_positions) {
-          if (t[p] != env[static_cast<size_t>(pa.slots[p].var)]) return;
+          if (v.rel->cell(ti, p) != env[static_cast<size_t>(pa.slots[p].var)]) return;
         }
-        // `t` must not be touched past this point (emit may reallocate).
         self(self, atom_idx + 1);
       };
 
       if (v.index == nullptr) {
-        for (size_t ti = v.lo; ti < v.hi && status.ok(); ++ti) try_tuple(ti);
+        for (size_t ti = v.lo; ti < v.hi && status.ok(); ++ti) try_row(ti);
       } else {
-        std::vector<Value> key_vals;
-        key_vals.reserve(pa.key_positions.size());
+        std::vector<Value>& key_vals = key_bufs[atom_idx];
+        key_vals.clear();
         for (size_t p : pa.key_positions) {
           const Slot& s = pa.slots[p];
           key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
         }
-        const std::vector<uint32_t>* matches = v.index->Lookup(Tuple(std::move(key_vals)));
+        const std::vector<uint32_t>* matches =
+            v.index->Lookup(*v.rel, key_vals.data(), key_vals.size());
         if (matches == nullptr) return;
         // Posting lists are sorted ascending; restrict to [lo, hi).
         auto it = std::lower_bound(matches->begin(), matches->end(),
                                    static_cast<uint32_t>(v.lo));
-        for (; it != matches->end() && *it < v.hi && status.ok(); ++it) try_tuple(*it);
+        for (; it != matches->end() && *it < v.hi && status.ok(); ++it) try_row(*it);
       }
     };
     match(match, 0);
@@ -489,9 +525,18 @@ class Evaluator {
 struct DatalogEngine::Caches {
   IndexCache edb_indexes;
   std::unordered_map<std::string, std::shared_ptr<const CompiledRule>> rules;
+  /// Times a cached plan was recompiled because its EDB cardinality
+  /// statistics drifted ≥4x (exposed via DatalogEngine::stats()).
+  size_t plan_refreshes = 0;
 
   static constexpr size_t kMaxRules = 8192;
 };
+
+DatalogEngine::Stats DatalogEngine::stats() const {
+  Stats s;
+  s.plan_refreshes = caches_->plan_refreshes;
+  return s;
+}
 
 DatalogEngine::DatalogEngine() : DatalogEngine(Options()) {}
 DatalogEngine::DatalogEngine(Options options)
@@ -549,6 +594,17 @@ Result<FactDatabase> DatalogEngine::Eval(
       std::string key = RuleCacheKey(rule, idb_key);
       auto it = caches_->rules.find(key);
       if (it != caches_->rules.end()) {
+        // Statistics refresh: a cached join order chosen against very
+        // different relation sizes can be arbitrarily bad. Re-plan when any
+        // EDB body cardinality drifted ≥4x; stale plans are only a
+        // performance hazard, so the check is skipped when reordering is
+        // off (the plan would come out identical).
+        if (options_.reorder_joins && PlanIsStale(*it->second, edb)) {
+          DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
+                                    CompileRule(rule, idb, edb, options_.reorder_joins));
+          it->second = std::make_shared<const CompiledRule>(std::move(cr));
+          ++caches_->plan_refreshes;
+        }
         rules.push_back(it->second);
         continue;
       }

@@ -55,8 +55,18 @@ class DatalogEngine {
     double timeout_seconds = 0;
     /// Reorder body atoms by estimated selectivity at compile time.
     bool reorder_joins = true;
-    /// Cache compiled rules across Eval calls on this engine.
+    /// Cache compiled rules across Eval calls on this engine. Cached plans
+    /// are re-planned automatically when any EDB body relation's
+    /// cardinality drifts ≥4x from the size seen at planning time (the
+    /// statistics-refresh check; see stats().plan_refreshes).
     bool cache_compiled_rules = true;
+  };
+
+  /// Counters accumulated across Eval calls on this engine.
+  struct Stats {
+    /// Cached rules recompiled because their join-order statistics went
+    /// stale (≥4x cardinality drift on an EDB body relation).
+    size_t plan_refreshes = 0;
   };
 
   DatalogEngine();
@@ -77,6 +87,9 @@ class DatalogEngine {
   /// "c0", "c1", ...).
   Result<FactDatabase> EvalAutoSignatures(const Program& program,
                                           const FactDatabase& edb) const;
+
+  /// Snapshot of the engine's cumulative counters (see Stats).
+  Stats stats() const;
 
  private:
   Options options_;

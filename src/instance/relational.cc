@@ -17,12 +17,17 @@ Status RelationalInstance::DeclareTable(const Schema& schema, const std::string&
 }
 
 Status RelationalInstance::Insert(const std::string& table, Tuple row) {
+  return InsertRow(table, row.values());
+}
+
+Status RelationalInstance::InsertRow(const std::string& table,
+                                     const std::vector<Value>& row) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::NotFound("no table named " + table);
-  if (row.arity() != it->second.arity()) {
+  if (row.size() != it->second.arity()) {
     return Status::InvalidArgument("arity mismatch inserting into " + table);
   }
-  it->second.Insert(std::move(row));
+  it->second.InsertRow(row.data(), row.size());
   return Status::OK();
 }
 
@@ -39,11 +44,11 @@ Result<RecordForest> RelationalInstance::ToForest(const Schema& schema) const {
       return Status::InvalidArgument("table " + name + " not in schema");
     }
     const auto& attrs = schema.AttrsOf(name);
-    for (const Tuple& row : rel.tuples()) {
+    for (size_t r = 0; r < rel.size(); ++r) {
       RecordNode node;
       node.type = name;
       for (size_t i = 0; i < attrs.size(); ++i) {
-        node.prims.push_back({attrs[i], row[i]});
+        node.prims.push_back({attrs[i], rel.cell(r, i)});
       }
       forest.roots.push_back(std::move(node));
     }
@@ -59,12 +64,13 @@ Result<RelationalInstance> RelationalInstance::FromForest(const RecordForest& fo
   for (const std::string& rec : schema.TopLevelRecords()) {
     DYNAMITE_RETURN_NOT_OK(inst.DeclareTable(schema, rec));
   }
+  std::vector<Value> row;
   for (const RecordNode& root : forest.roots) {
-    Tuple row;
+    row.clear();
     for (const std::string& attr : schema.AttrsOf(root.type)) {
-      row.Append(root.Prim(attr));
+      row.push_back(root.Prim(attr));
     }
-    DYNAMITE_RETURN_NOT_OK(inst.Insert(root.type, std::move(row)));
+    DYNAMITE_RETURN_NOT_OK(inst.InsertRow(root.type, row));
   }
   return inst;
 }

@@ -22,6 +22,9 @@ class RelationalInstance {
   /// Inserts a row into `table` (columns in schema attribute order).
   Status Insert(const std::string& table, Tuple row);
 
+  /// Batched columnar insert: appends `row` without materializing a Tuple.
+  Status InsertRow(const std::string& table, const std::vector<Value>& row);
+
   const std::map<std::string, Relation>& tables() const { return tables_; }
 
   Result<const Relation*> Table(const std::string& name) const;

@@ -24,27 +24,43 @@ std::map<std::string, std::vector<std::string>> FactSignatures(const Schema& sch
 
 namespace {
 
-Status EmitFacts(const RecordNode& node, const Schema& schema, uint64_t* next_id,
-                 const Value* parent_id, FactDatabase* db) {
-  Value my_id = Value::Id((*next_id)++);
-  Tuple row;
-  if (parent_id != nullptr) row.Append(*parent_id);
-  for (const std::string& attr : schema.AttrsOf(node.type)) {
-    if (schema.IsPrimitive(attr)) {
-      row.Append(node.Prim(attr));
-    } else {
-      row.Append(my_id);
+/// Batched columnar fact emission: relations are resolved once up front and
+/// rows are appended through one reused value buffer — no per-record Tuple
+/// and no per-record name lookup (the conversion runs once per synthesis
+/// candidate via FlattenView and once per example, so this is a hot path).
+struct FactsEmitter {
+  const Schema& schema;
+  uint64_t* next_id;
+  std::unordered_map<std::string, Relation*> rels;
+  std::vector<Value> row_buf;
+
+  Status Emit(const RecordNode& node, const Value* parent_id) {
+    Value my_id = Value::Id((*next_id)++);
+    row_buf.clear();
+    if (parent_id != nullptr) row_buf.push_back(*parent_id);
+    for (const std::string& attr : schema.AttrsOf(node.type)) {
+      if (schema.IsPrimitive(attr)) {
+        row_buf.push_back(node.Prim(attr));
+      } else {
+        row_buf.push_back(my_id);
+      }
     }
-  }
-  DYNAMITE_RETURN_NOT_OK(db->AddFact(node.type, std::move(row)));
-  for (const std::string& attr : schema.AttrsOf(node.type)) {
-    if (!schema.IsRecord(attr)) continue;
-    for (const RecordNode& child : node.Children(attr)) {
-      DYNAMITE_RETURN_NOT_OK(EmitFacts(child, schema, next_id, &my_id, db));
+    auto it = rels.find(node.type);
+    if (it == rels.end()) return Status::NotFound("no relation named " + node.type);
+    if (row_buf.size() != it->second->arity()) {
+      return Status::InvalidArgument("arity mismatch adding fact to " + node.type);
     }
+    it->second->InsertRow(row_buf.data(), row_buf.size());
+    // row_buf is free to reuse below: the row was appended column-wise.
+    for (const std::string& attr : schema.AttrsOf(node.type)) {
+      if (!schema.IsRecord(attr)) continue;
+      for (const RecordNode& child : node.Children(attr)) {
+        DYNAMITE_RETURN_NOT_OK(Emit(child, &my_id));
+      }
+    }
+    return Status::OK();
   }
-  return Status::OK();
-}
+};
 
 }  // namespace
 
@@ -52,37 +68,44 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
                              uint64_t* next_id) {
   DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
   FactDatabase db;
+  FactsEmitter emitter{schema, next_id, {}, {}};
   for (const std::string& rec : schema.RecordNames()) {
     DYNAMITE_ASSIGN_OR_RETURN(Relation * rel,
                               db.DeclareRelation(rec, FactSignature(schema, rec)));
-    (void)rel;
+    emitter.rels.emplace(rec, rel);
   }
   for (const RecordNode& root : forest.roots) {
-    DYNAMITE_RETURN_NOT_OK(EmitFacts(root, schema, next_id, nullptr, &db));
+    DYNAMITE_RETURN_NOT_OK(emitter.Emit(root, nullptr));
   }
   return db;
 }
 
 namespace {
 
-/// Hash index: child relation tuples grouped by parent column value.
+/// Hash index: child relation rows grouped by parent column value. Built
+/// with a single scan of the parent column — columnar storage means the
+/// other columns are never touched during the build.
 class ChildIndex {
  public:
-  ChildIndex(const Relation* rel) {
+  ChildIndex(const Relation* rel) : rel_(rel) {
     if (rel == nullptr) return;
-    for (const Tuple& t : rel->tuples()) {
-      index_[t[0]].push_back(&t);
+    const std::vector<Value>& parent_col = rel->column(0);
+    for (uint32_t i = 0; i < parent_col.size(); ++i) {
+      index_[parent_col[i]].push_back(i);
     }
   }
 
-  const std::vector<const Tuple*>& Lookup(const Value& parent) const {
-    static const std::vector<const Tuple*> kEmpty;
+  const std::vector<uint32_t>& Lookup(const Value& parent) const {
+    static const std::vector<uint32_t> kEmpty;
     auto it = index_.find(parent);
     return it == index_.end() ? kEmpty : it->second;
   }
 
+  const Relation* relation() const { return rel_; }
+
  private:
-  std::unordered_map<Value, std::vector<const Tuple*>> index_;
+  const Relation* rel_ = nullptr;
+  std::unordered_map<Value, std::vector<uint32_t>> index_;
 };
 
 struct Rebuilder {
@@ -101,9 +124,9 @@ struct Rebuilder {
     return it->second;
   }
 
-  /// BuildRecord (§3.3): reconstructs one record from its fact tuple.
+  /// BuildRecord (§3.3): reconstructs one record from its fact row.
   /// `offset` = 1 when the relation has a parent column.
-  RecordNode Build(const std::string& record, const Tuple& fact, size_t offset) {
+  RecordNode Build(const std::string& record, RowRef fact, size_t offset) {
     RecordNode node;
     node.type = record;
     const auto& attrs = schema.AttrsOf(record);
@@ -113,8 +136,9 @@ struct Rebuilder {
         node.prims.push_back({attrs[i], cell});
       } else {
         std::vector<RecordNode> kids;
-        for (const Tuple* child : IndexFor(attrs[i]).Lookup(cell)) {
-          kids.push_back(Build(attrs[i], *child, 1));
+        const ChildIndex& index = IndexFor(attrs[i]);
+        for (uint32_t child_row : index.Lookup(cell)) {
+          kids.push_back(Build(attrs[i], index.relation()->row(child_row), 1));
         }
         node.children.push_back({attrs[i], std::move(kids)});
       }
@@ -138,8 +162,8 @@ Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema) {
                                      std::to_string(rel->arity()) + ", schema expects " +
                                      std::to_string(expected_arity));
     }
-    for (const Tuple& fact : rel->tuples()) {
-      forest.roots.push_back(rb.Build(rec, fact, 0));
+    for (size_t r = 0; r < rel->size(); ++r) {
+      forest.roots.push_back(rb.Build(rec, rel->row(r), 0));
     }
   }
   return forest;
@@ -267,7 +291,7 @@ Result<Relation> FlattenForestView(const RecordForest& forest, const Schema& sch
     std::vector<Value> prefix;
     std::vector<std::vector<Value>> rows;
     FlattenNode(root, schema, &prefix, &rows);
-    for (auto& r : rows) view.Insert(Tuple(std::move(r)));
+    for (const auto& r : rows) view.InsertRow(r.data(), r.size());
   }
   return view;
 }

@@ -19,6 +19,9 @@ std::string KeyOf(const std::vector<std::string>& attrs) {
 
 bool ProjectionsEqual(const Relation& actual, const Relation& expected,
                       const std::vector<std::string>& attrs) {
+  // Project returns zero-copy column-slice views; the set comparison reads
+  // the columns directly, so the MDP search (which calls this once per
+  // explored attribute subset) never materializes a projected relation.
   auto pa = actual.Project(attrs);
   auto pe = expected.Project(attrs);
   if (!pa.ok() || !pe.ok()) return true;  // attribute missing: treat as equal

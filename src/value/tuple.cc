@@ -20,10 +20,7 @@ std::string Tuple::ToString() const {
 }
 
 size_t Tuple::ComputeHash() const {
-  size_t seed = values_.size();
-  for (const Value& v : values_) HashCombine(&seed, v);
-  if (seed == 0) seed = 0x9e3779b97f4a7c15ULL;  // keep 0 as "unset"
-  return seed;
+  return HashValueRange(values_.data(), values_.size());
 }
 
 }  // namespace dynamite

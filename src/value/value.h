@@ -143,6 +143,30 @@ class Value {
 
 static_assert(sizeof(Value) == 16, "Value must stay a 16-byte POD");
 
+/// The canonical row/key hash over a sequence of Values: seeded with the
+/// arity, one HashCombine per value, 0 remapped (0 is the "unset" sentinel
+/// of Tuple's memoized hash). Tuple::Hash, Relation's per-row hashes, and
+/// JoinIndex key hashes all probe each other's tables, so every one of them
+/// MUST use these helpers — a divergent copy silently breaks join lookups
+/// and dedup. Use ValueRowHasher when the values are not contiguous (e.g.
+/// scattered across relation columns).
+class ValueRowHasher {
+ public:
+  explicit ValueRowHasher(size_t arity) : seed_(arity) {}
+  void Add(const Value& v) { HashCombine(&seed_, v); }
+  size_t Finish() const { return seed_ == 0 ? 0x9e3779b97f4a7c15ULL : seed_; }
+
+ private:
+  size_t seed_;
+};
+
+/// ValueRowHasher over a contiguous span.
+inline size_t HashValueRange(const Value* vals, size_t count) {
+  ValueRowHasher h(count);
+  for (size_t i = 0; i < count; ++i) h.Add(vals[i]);
+  return h.Finish();
+}
+
 }  // namespace dynamite
 
 namespace std {

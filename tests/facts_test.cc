@@ -25,11 +25,12 @@ TEST(ToFacts, MotivatingExampleMatchesPaper) {
   EXPECT_EQ(univ->attributes(), (std::vector<std::string>{"id", "name", "Admit"}));
   EXPECT_EQ(admit->attributes(),
             (std::vector<std::string>{"_parent_Admit", "uid", "count"}));
-  // Every Admit parent id appears as some Univ record id.
-  for (const Tuple& a : admit->tuples()) {
+  // Every Admit parent id appears as some Univ record id (column-wise: the
+  // parent ids are Admit's column 0 and the record ids Univ's column 2).
+  for (const Value& parent : admit->column(0)) {
     bool found = false;
-    for (const Tuple& u : univ->tuples()) {
-      if (u[2] == a[0]) found = true;
+    for (const Value& univ_id : univ->column(2)) {
+      if (univ_id == parent) found = true;
     }
     EXPECT_TRUE(found);
   }
@@ -83,9 +84,9 @@ TEST(FlattenView, ChildlessParentPadsWithNulls) {
   f.roots.push_back(testing::UnivRecord(9, "Lonely", {}));
   ASSERT_OK_AND_ASSIGN(Relation view, FlattenForestView(f, testing::UnivSchema(), "Univ"));
   ASSERT_EQ(view.size(), 1u);
-  EXPECT_EQ(view.tuples()[0][0], Value::Int(9));
-  EXPECT_TRUE(view.tuples()[0][2].is_null());
-  EXPECT_TRUE(view.tuples()[0][3].is_null());
+  EXPECT_EQ(view.row(0)[0], Value::Int(9));
+  EXPECT_TRUE(view.row(0)[2].is_null());
+  EXPECT_TRUE(view.row(0)[3].is_null());
 }
 
 TEST(Migrator, EndToEndMotivatingExample) {

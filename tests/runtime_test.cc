@@ -106,8 +106,11 @@ TEST(RelationStorage, InsertDeduplicatesAndKeepsOrder) {
   EXPECT_EQ(r.size(), 2u);
   EXPECT_TRUE(r.Contains(Tuple({Value::Int(2), Value::String("runtime_test_two")})));
   EXPECT_FALSE(r.Contains(Tuple({Value::Int(3), Value::String("runtime_test_two")})));
-  EXPECT_EQ(r.tuples()[0][0], Value::Int(1));
-  EXPECT_EQ(r.tuples()[1][0], Value::Int(2));
+  EXPECT_EQ(r.row(0)[0], Value::Int(1));
+  EXPECT_EQ(r.row(1)[0], Value::Int(2));
+  // Column-major accessors see the same data.
+  EXPECT_EQ(r.column(0)[0], Value::Int(1));
+  EXPECT_EQ(r.cell(1, 1), Value::String("runtime_test_two"));
 }
 
 TEST(RelationStorage, SurvivesRehashGrowth) {
@@ -150,16 +153,17 @@ TEST(JoinIndex, IncrementalRefreshMatchesFromScratch) {
   JoinIndex scratch({0});
   scratch.Refresh(r);
   for (int round = 0; round < 5; ++round) {
-    Tuple key({Value::Int(round)});
-    const std::vector<uint32_t>* a = incremental.Lookup(key);
-    const std::vector<uint32_t>* b = scratch.Lookup(key);
+    Value key = Value::Int(round);
+    const std::vector<uint32_t>* a = incremental.Lookup(r, &key, 1);
+    const std::vector<uint32_t>* b = scratch.Lookup(r, &key, 1);
     ASSERT_NE(a, nullptr);
     ASSERT_NE(b, nullptr);
     EXPECT_EQ(*a, *b);
     // Posting lists are sorted ascending (required by delta range views).
     EXPECT_TRUE(std::is_sorted(a->begin(), a->end()));
   }
-  EXPECT_EQ(incremental.Lookup(Tuple({Value::Int(99)})), nullptr);
+  Value missing = Value::Int(99);
+  EXPECT_EQ(incremental.Lookup(r, &missing, 1), nullptr);
 }
 
 TEST(IndexCache, ReusesByUidAndExtends) {
@@ -172,8 +176,9 @@ TEST(IndexCache, ReusesByUidAndExtends) {
   JoinIndex* again = cache.Get(r, {0});
   EXPECT_EQ(again, idx);  // same (uid, positions) -> same index, extended
   EXPECT_EQ(again->indexed_upto(), 2u);
-  ASSERT_NE(again->Lookup(Tuple({Value::Int(1)})), nullptr);
-  EXPECT_EQ(again->Lookup(Tuple({Value::Int(1)}))->size(), 2u);
+  Value key = Value::Int(1);
+  ASSERT_NE(again->Lookup(r, &key, 1), nullptr);
+  EXPECT_EQ(again->Lookup(r, &key, 1)->size(), 2u);
   // A copy is a different instance: it must not share the cached index.
   Relation copy = r;
   JoinIndex* copy_idx = cache.Get(copy, {0});

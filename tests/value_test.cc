@@ -79,12 +79,18 @@ TEST(Relation, InsertIsSetSemantics) {
   EXPECT_TRUE(r.Contains(Tuple({Value::Int(1), Value::Int(2)})));
 }
 
-TEST(Relation, ProjectByNameFoldsDuplicates) {
+TEST(Relation, ProjectByNameFoldsDuplicatesOnMaterialize) {
   Relation r("R", {"x", "y"});
   r.Insert(Tuple({Value::Int(1), Value::Int(2)}));
   r.Insert(Tuple({Value::Int(1), Value::Int(3)}));
-  ASSERT_OK_AND_ASSIGN(Relation p, r.Project({"x"}));
-  EXPECT_EQ(p.size(), 1u);  // both tuples project to (1)
+  ASSERT_OK_AND_ASSIGN(RelationView view, r.Project({"x"}));
+  // The view is zero-copy: it still sees both base rows.
+  EXPECT_EQ(view.base_rows(), 2u);
+  EXPECT_EQ(view.At(0, 0), Value::Int(1));
+  // Materializing applies set semantics: both rows project to (1).
+  Relation p = view.Materialize();
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.attributes(), (std::vector<std::string>{"x"}));
 }
 
 TEST(Relation, ProjectUnknownAttributeFails) {
