@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/session.h"
 #include "bench_util.h"
 #include "datalog/engine.h"
 #include "migrate/facts.h"
+#include "migrate/migrator.h"
 #include "solver/fd.h"
 #include "synth/mdp.h"
 #include "synth/synthesizer.h"
@@ -244,6 +246,43 @@ void BM_MdpSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MdpSearch)->Arg(16)->Arg(256);
+
+void BM_MigrateDirect(benchmark::State& state) {
+  // Baseline for the Session-overhead check below: the legacy Migrator
+  // driving a Tencent-1-scale migration directly.
+  const auto* bench = workload::FindBenchmark("Tencent-1");
+  RecordForest source =
+      workload::GenerateSource(*bench, 77, static_cast<size_t>(state.range(0)))
+          .ValueOrDie();
+  Migrator migrator(bench->source, bench->target);
+  size_t records = 0;
+  for (auto _ : state) {
+    auto out = migrator.Migrate(bench->golden, source);
+    records = out.ValueOrDie().TotalRecords();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
+}
+BENCHMARK(BM_MigrateDirect)->Arg(200)->Arg(1000);
+
+void BM_MigrateSession(benchmark::State& state) {
+  // Same migration through Session::Migrate: schema validation at Create,
+  // per-call forest checks, and RunContext plumbing must not cost anything
+  // measurable vs BM_MigrateDirect (tracked in BENCH_micro.json).
+  const auto* bench = workload::FindBenchmark("Tencent-1");
+  RecordForest source =
+      workload::GenerateSource(*bench, 77, static_cast<size_t>(state.range(0)))
+          .ValueOrDie();
+  Session session = Session::Create(bench->source, bench->target).ValueOrDie();
+  size_t records = 0;
+  for (auto _ : state) {
+    auto out = session.Migrate(bench->golden, source);
+    records = out.ValueOrDie().TotalRecords();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(records));
+}
+BENCHMARK(BM_MigrateSession)->Arg(200)->Arg(1000);
 
 void BM_EndToEndSynthesisMotivating(benchmark::State& state) {
   const auto* bench = workload::FindBenchmark("Tencent-1");

@@ -1,15 +1,16 @@
 // Example: the filtering extension (§5) — the target keeps a subset of the
 // source rows, selected by an equality predicate that Dynamite synthesizes
-// as a constant in the rule body.
+// as a constant in the rule body. Stage options (here: filtering) are set
+// once on SessionOptions and the whole pipeline runs through
+// dynamite::Session (src/api/session.h).
 //
 //   $ ./filtering_migration
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "instance/relational.h"
-#include "migrate/migrator.h"
 #include "schema/schema_builder.h"
-#include "synth/synthesizer.h"
 
 using namespace dynamite;
 
@@ -49,12 +50,14 @@ int main() {
   example.input = input.ToForest(source).ValueOrDie();
   example.output = output.ToForest(target).ValueOrDie();
 
-  SynthesisOptions options;
-  options.enable_filtering = true;  // allow constants in hole domains
-  Synthesizer synthesizer(source, target, options);
-  auto result = synthesizer.Synthesize(example);
+  SessionOptions options;
+  options.synthesis.enable_filtering = true;  // allow constants in hole domains
+  Session session = Session::Create(source, target, options).ValueOrDie();
+  auto result = session.Synthesize(example, RunContext::WithTimeout(60));
   if (!result.ok()) {
-    std::fprintf(stderr, "synthesis failed: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "synthesis failed (%s): %s\n",
+                 StatusCodeToString(result.status().code()),
+                 result.status().message().c_str());
     return 1;
   }
   std::printf("Synthesized filtering mapping:\n%s\n", result->program.ToString().c_str());
@@ -67,9 +70,8 @@ int main() {
                                 Value::String("item" + std::to_string(i)),
                                 Value::String(statuses[i % 3])}));
   }
-  Migrator migrator(source, target);
   RecordForest migrated =
-      migrator.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
+      session.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
   RelationalInstance out = RelationalInstance::FromForest(migrated, target).ValueOrDie();
   std::printf("Migrated (only shipped rows kept):\n%s\n", out.ToString().c_str());
   return 0;

@@ -1,15 +1,16 @@
 // Example: migrating a property graph (social follow graph, like the
-// Tencent Weibo benchmark) into a relational table, from a 2-node example.
+// Tencent Weibo benchmark) into a relational table, from a 2-node example,
+// using dynamite::Session (src/api/session.h) — synthesis and migration
+// share one engine, and errors come back as typed ErrorCodes.
 //
 //   $ ./graph_to_relational
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "instance/graph.h"
 #include "instance/relational.h"
-#include "migrate/migrator.h"
 #include "schema/schema_builder.h"
-#include "synth/synthesizer.h"
 
 using namespace dynamite;
 
@@ -52,15 +53,18 @@ int main() {
   example.input = example_graph.ToForest(source).ValueOrDie();
   example.output = example_table.ToForest(target).ValueOrDie();
 
-  Synthesizer synthesizer(source, target);
-  auto result = synthesizer.Synthesize(example);
+  Session session = Session::Create(source, target).ValueOrDie();
+  auto result = session.Synthesize(example, RunContext::WithTimeout(60));
   if (!result.ok()) {
-    std::fprintf(stderr, "synthesis failed: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "synthesis failed (%s): %s\n",
+                 StatusCodeToString(result.status().code()),
+                 result.status().message().c_str());
     return 1;
   }
   std::printf("Synthesized mapping:\n%s\n", result->program.ToString().c_str());
 
-  // Migrate a bigger graph.
+  // Migrate a bigger graph with the same session: the shared migration
+  // engine keeps its join indexes and compiled rules across Migrate calls.
   GraphInstance big;
   const char* names[] = {"u0", "u1", "u2", "u3", "u4"};
   for (int i = 0; i < 5; ++i) {
@@ -70,9 +74,8 @@ int main() {
   for (int i = 0; i < 5; ++i) {
     big.AddEdge(GraphEdge{"Follows", i, (i + 2) % 5, {{"weight", Value::Int(i * 10)}}});
   }
-  Migrator migrator(source, target);
   RecordForest migrated =
-      migrator.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
+      session.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
   RelationalInstance out = RelationalInstance::FromForest(migrated, target).ValueOrDie();
   std::printf("Migrated table:\n%s\n", out.ToString().c_str());
   return 0;

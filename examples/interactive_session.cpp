@@ -1,16 +1,19 @@
-// Example: interactive mode (§5, Appendix B) on the paper's Example 10.
+// Example: interactive mode (§5, Appendix B) on the paper's Example 10,
+// through dynamite::Session::SynthesizeInteractive (src/api/session.h).
 //
 // A single-record example is ambiguous between the join program and the
 // cross-product program; Dynamite finds a distinguishing input, asks the
-// "user" (an oracle here) for its output, and converges to the join.
+// "user" (an oracle here) for its output, and converges to the join. The
+// Session shares one Datalog engine between the distinguishing-input
+// probes and the final migration, and the oracle may answer kCancelled to
+// stop the questioning gracefully (partial stats, best program so far).
 //
 //   $ ./interactive_session
 
 #include <cstdio>
 
-#include "migrate/migrator.h"
+#include "api/session.h"
 #include "schema/schema_builder.h"
-#include "synth/interactive.h"
 
 using namespace dynamite;
 
@@ -44,32 +47,36 @@ int main() {
                       .ValueOrDie();
   Program golden =
       Program::Parse("WorksIn(n, d) :- Employee(n, x), Department(x, d).").ValueOrDie();
-  Migrator migrator(source, target);
+
+  Session session = Session::Create(source, target).ValueOrDie();
 
   // The ambiguous starting example: Employee(Alice, 11), Department(11, CS)
   // -> WorksIn(Alice, CS).
   Example initial;
   initial.input.roots = {Emp("Alice", 11), Dept(11, "CS")};
-  initial.output = migrator.Migrate(golden, initial.input).ValueOrDie();
+  initial.output = session.Migrate(golden, initial.input).ValueOrDie();
 
   // A validation pool the distinguishing input is drawn from.
   RecordForest pool;
   pool.roots = {Emp("Alice", 11), Emp("Bob", 12), Dept(11, "CS"), Dept(12, "EE")};
 
   // The "user": answers queries by consulting the intended transformation.
+  // (A real user could return Status::Cancelled(...) to stop answering;
+  // the session then returns the best program so far with partial stats.)
   size_t questions = 0;
   Oracle oracle = [&](const RecordForest& input) -> Result<RecordForest> {
     ++questions;
     std::printf("Dynamite asks about a distinguishing input with %zu records...\n",
                 input.roots.size());
-    return migrator.Migrate(golden, input);
+    return session.Migrate(golden, input);
   };
 
-  InteractiveSynthesizer interactive(source, target);
-  auto result = interactive.Run(initial, pool, oracle);
+  auto result = session.SynthesizeInteractive(initial, pool, oracle,
+                                              RunContext::WithTimeout(120));
   if (!result.ok()) {
-    std::fprintf(stderr, "interactive synthesis failed: %s\n",
-                 result.status().ToString().c_str());
+    std::fprintf(stderr, "interactive synthesis failed (%s): %s\n",
+                 StatusCodeToString(result.status().code()),
+                 result.status().message().c_str());
     return 1;
   }
   std::printf("\nConverged after %zu round(s), %zu user quer%s.\n", result->rounds,
@@ -79,7 +86,7 @@ int main() {
   // Show that the result is the join, not the cross product.
   RecordForest probe;
   probe.roots = {Emp("X", 1), Emp("Y", 2), Dept(1, "D1"), Dept(2, "D2")};
-  RecordForest out = migrator.Migrate(result->result.program, probe).ValueOrDie();
+  RecordForest out = session.Migrate(result->result.program, probe).ValueOrDie();
   std::printf("On a 2x2 probe instance the program produces %zu WorksIn rows "
               "(join => 2, cross product => 4).\n",
               out.roots.size());

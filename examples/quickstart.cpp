@@ -1,18 +1,19 @@
-// Quickstart: the paper's motivating example (§2), end to end.
+// Quickstart: the paper's motivating example (§2), end to end on the
+// unified dynamite::Session pipeline API (src/api/session.h).
 //
 // A document database of universities with nested admission info is
-// migrated to a flat Admission collection. Dynamite synthesizes the
-// Datalog migration program from a four-record example, then executes it
-// on a larger instance.
+// migrated to a flat Admission collection. One Session owns the whole
+// pipeline: it synthesizes the Datalog migration program from a
+// four-record example, then executes it on a larger instance with the
+// same engine — a single SynthesizeAndMigrate call under one budget.
 //
 //   $ ./quickstart
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "instance/document.h"
-#include "migrate/migrator.h"
 #include "schema/schema_builder.h"
-#include "synth/synthesizer.h"
 
 using namespace dynamite;
 
@@ -58,18 +59,7 @@ int main() {
   example.input = input_docs.ToForest(source).ValueOrDie();
   example.output = output_docs.ToForest(target).ValueOrDie();
 
-  // 3. Synthesize the Datalog migration program.
-  Synthesizer synthesizer(source, target);
-  auto result = synthesizer.Synthesize(example);
-  if (!result.ok()) {
-    std::fprintf(stderr, "synthesis failed: %s\n", result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("Synthesized in %.3fs after %zu candidate(s), search space %.0f:\n\n%s\n",
-              result->seconds, result->iterations, result->search_space,
-              result->program.ToString().c_str());
-
-  // 4. Run the program on a larger database.
+  // 3. The larger database the synthesized program will run on.
   DocumentInstance big = DocumentInstance::FromJsonText(R"({
         "Univ": [
           {"id": 1, "name": "MIT",      "Admit": [{"uid": 2, "count": 7},
@@ -79,15 +69,31 @@ int main() {
                                                   {"uid": 2, "count": 6}]}
         ]})")
                               .ValueOrDie();
-  Migrator migrator(source, target);
-  MigrationStats stats;
-  RecordForest migrated =
-      migrator.Migrate(result->program, big.ToForest(source).ValueOrDie(), &stats)
-          .ValueOrDie();
-  DocumentInstance out = DocumentInstance::FromForest(migrated, target).ValueOrDie();
 
+  // 4. One Session, one call: synthesize from the example, migrate the big
+  //    instance, all under a 60-second budget with live progress.
+  Session session = Session::Create(source, target).ValueOrDie();
+  RunContext ctx = RunContext::WithTimeout(60);
+  ctx.observer = [](const ProgressEvent& e) {
+    std::fprintf(stderr, "[%s] %s iters=%zu coverage=%.3f t=%.2fs\n",
+                 PhaseToString(e.phase), e.detail.c_str(), e.iterations, e.coverage,
+                 e.elapsed_seconds);
+  };
+  auto run = session.SynthesizeAndMigrate(example, big.ToForest(source).ValueOrDie(), ctx);
+  if (!run.ok()) {
+    // Typed errors: callers branch on the code, not the message string.
+    std::fprintf(stderr, "pipeline failed (%s): %s\n",
+                 StatusCodeToString(run.status().code()),
+                 run.status().message().c_str());
+    return 1;
+  }
+  std::printf("Synthesized in %.3fs after %zu candidate(s), search space %.0f:\n\n%s\n",
+              run->synthesis.seconds, run->synthesis.iterations,
+              run->synthesis.search_space, run->synthesis.program.ToString().c_str());
+
+  DocumentInstance out = DocumentInstance::FromForest(run->migrated, target).ValueOrDie();
   std::printf("Migrated %zu source records -> %zu target records in %.3fs:\n%s\n",
-              stats.source_records, stats.target_records, stats.TotalSeconds(),
-              out.ToJson().Pretty().c_str());
+              run->migration.source_records, run->migration.target_records,
+              run->migration.TotalSeconds(), out.ToJson().Pretty().c_str());
   return 0;
 }

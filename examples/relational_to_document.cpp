@@ -1,16 +1,16 @@
 // Example: denormalizing a relational database into nested documents —
 // hosts with their listings grouped under them (the Airbnb-1 scenario),
-// exercising target-side nesting and the connector/grouping machinery.
+// exercising target-side nesting and the connector/grouping machinery,
+// through dynamite::Session (src/api/session.h).
 //
 //   $ ./relational_to_document
 
 #include <cstdio>
 
+#include "api/session.h"
 #include "instance/document.h"
 #include "instance/relational.h"
-#include "migrate/migrator.h"
 #include "schema/schema_builder.h"
-#include "synth/synthesizer.h"
 
 using namespace dynamite;
 
@@ -60,10 +60,12 @@ int main() {
   example.input = tables.ToForest(source).ValueOrDie();
   example.output = expected.ToForest(target).ValueOrDie();
 
-  Synthesizer synthesizer(source, target);
-  auto result = synthesizer.Synthesize(example);
+  Session session = Session::Create(source, target).ValueOrDie();
+  auto result = session.Synthesize(example, RunContext::WithTimeout(60));
   if (!result.ok()) {
-    std::fprintf(stderr, "synthesis failed: %s\n", result.status().ToString().c_str());
+    std::fprintf(stderr, "synthesis failed (%s): %s\n",
+                 StatusCodeToString(result.status().code()),
+                 result.status().message().c_str());
     return 1;
   }
   std::printf("Synthesized mapping (note the shared grouping variable between\n"
@@ -83,9 +85,8 @@ int main() {
                Tuple({Value::Int(100 + l), Value::String("flat" + std::to_string(l)),
                       Value::Int(l % 3), Value::Int(40 + 10 * l)}));
   }
-  Migrator migrator(source, target);
   RecordForest migrated =
-      migrator.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
+      session.Migrate(result->program, big.ToForest(source).ValueOrDie()).ValueOrDie();
   DocumentInstance out = DocumentInstance::FromForest(migrated, target).ValueOrDie();
   std::printf("Migrated documents:\n%s\n", out.ToJson().Pretty().c_str());
   return 0;

@@ -1,0 +1,149 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "instance/record_forest.h"
+
+namespace dynamite {
+
+Session::Session(Schema source, Schema target, SessionOptions options)
+    : source_(std::move(source)), target_(std::move(target)), options_(options) {
+  // The synthesis stage owns its per-candidate evaluation engine; the
+  // migration engine below is the one shared across Migrate calls and
+  // interactive probes. The legacy timeout knob is neutralized — budgets
+  // come from RunContext deadlines (see Bounded()).
+  SynthesisOptions synth = options_.synthesis;
+  synth.timeout_seconds = 0;
+  migrator_ = std::make_unique<Migrator>(source_, target_, options_.engine);
+  synthesizer_ = std::make_unique<Synthesizer>(source_, target_, synth);
+}
+
+Result<Session> Session::Create(Schema source, Schema target, SessionOptions options) {
+  // Re-validate both schemas here, once for the session's lifetime — also
+  // covers schemas hand-built with DefineRecord that never called
+  // Validate(). Failures land in the typed kSchemaMismatch bucket.
+  Status src_st = source.Validate();
+  if (!src_st.ok()) {
+    return Status::SchemaMismatch("source schema invalid: " + src_st.message());
+  }
+  Status tgt_st = target.Validate();
+  if (!tgt_st.ok()) {
+    return Status::SchemaMismatch("target schema invalid: " + tgt_st.message());
+  }
+  return Session(std::move(source), std::move(target), std::move(options));
+}
+
+RunContext Session::Bounded(const RunContext& ctx) const {
+  // The default budget applies only when the caller did not bound the run
+  // themselves: an explicit (even longer) deadline wins over the default.
+  if (!ctx.deadline.infinite() || options_.default_budget_seconds <= 0) return ctx;
+  RunContext out = ctx;
+  out.deadline = Deadline::After(options_.default_budget_seconds);
+  return out;
+}
+
+Status Session::CheckAgainstSchema(const RecordForest& forest, const Schema& schema,
+                                   const char* what) const {
+  Status st = ValidateForest(forest, schema);
+  if (!st.ok()) {
+    return Status::SchemaMismatch(std::string(what) + ": " + st.message());
+  }
+  return Status::OK();
+}
+
+Result<SynthesisResult> Session::Synthesize(const Example& example,
+                                            const RunContext& ctx) const {
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+  return synthesizer_->Synthesize(example, Bounded(ctx));
+}
+
+Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
+                                                         const RecordForest& validation_pool,
+                                                         const Oracle& oracle,
+                                                         const RunContext& ctx) const {
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(validation_pool, source_, "validation pool vs source schema"));
+  SynthesisOptions synth = options_.synthesis;
+  synth.timeout_seconds = 0;
+  InteractiveSynthesizer interactive(source_, target_, synth, options_.interactive);
+  RunContext bounded = Bounded(ctx);
+  DYNAMITE_ASSIGN_OR_RETURN(
+      InteractiveResult result,
+      interactive.Run(example, validation_pool, oracle, bounded, migrator_.get()));
+  if (options_.fail_on_ambiguity && !result.unique && !result.cancelled) {
+    return Status::Ambiguous(
+        "validation pool cannot distinguish the remaining candidate programs");
+  }
+  return result;
+}
+
+Result<RecordForest> Session::Migrate(const Program& program, const RecordForest& source,
+                                      MigrationStats* stats, const RunContext& ctx) const {
+  // No pre-validation on the hot path: ToFacts validates the forest anyway
+  // (a second walk here cost ~20% on migration microbenchmarks). Instead,
+  // classify failures after the fact — if the forest is what's wrong, the
+  // caller gets the typed kSchemaMismatch; otherwise the original error.
+  auto result = migrator_->Migrate(program, source, Bounded(ctx), stats);
+  if (!result.ok() && (result.status().code() == StatusCode::kInvalidArgument ||
+                       result.status().code() == StatusCode::kTypeError)) {
+    DYNAMITE_RETURN_NOT_OK(
+        CheckAgainstSchema(source, source_, "source instance vs source schema"));
+  }
+  return result;
+}
+
+Result<PipelineResult> Session::SynthesizeAndMigrate(const Example& example,
+                                                     const RecordForest& source_instance,
+                                                     const RunContext& ctx) const {
+  // One bounded context covers both stages: a single budget for the whole
+  // pipeline rather than per-stage wall clocks. The source instance is not
+  // pre-validated (ToFacts validates it inside the migrate stage; see
+  // Migrate for why) — failures are classified post hoc.
+  RunContext bounded = Bounded(ctx);
+  PipelineResult out;
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+  DYNAMITE_RETURN_NOT_OK(
+      CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+  DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult synthesis,
+                            synthesizer_->Synthesize(example, bounded));
+  out.synthesis = std::move(synthesis);
+
+  // Migration progress events carry the synthesis totals forward so the
+  // run's cumulative counters (iterations, coverage) stay monotone across
+  // the phase boundary, as ProgressEvent documents.
+  RunContext migrate_ctx = bounded;
+  if (bounded.observer) {
+    size_t iterations = out.synthesis.iterations;
+    double space = out.synthesis.search_space;
+    ProgressObserver inner = bounded.observer;
+    migrate_ctx.observer = [iterations, space, inner](const ProgressEvent& event) {
+      ProgressEvent carried = event;
+      carried.iterations = iterations;
+      carried.search_space = space;
+      carried.coverage =
+          space > 0 ? std::min(1.0, static_cast<double>(iterations) / space) : 0;
+      inner(carried);
+    };
+  }
+  auto migrated =
+      migrator_->Migrate(out.synthesis.program, source_instance, migrate_ctx, &out.migration);
+  if (!migrated.ok() && (migrated.status().code() == StatusCode::kInvalidArgument ||
+                         migrated.status().code() == StatusCode::kTypeError)) {
+    DYNAMITE_RETURN_NOT_OK(CheckAgainstSchema(source_instance, source_,
+                                              "source instance vs source schema"));
+  }
+  if (!migrated.ok()) return migrated.status();
+  out.migrated = std::move(migrated).ValueOrDie();
+  return out;
+}
+
+}  // namespace dynamite

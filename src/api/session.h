@@ -1,0 +1,145 @@
+// dynamite::Session — the unified pipeline API.
+//
+// The paper's workflow is one pipeline: infer mapping → sketch → SAT-guided
+// search → evaluate → (optionally) interact → migrate. A Session is built
+// once from (source schema, target schema, options), validates both schemas
+// at that point, and exposes every pipeline stage as composable calls that
+// share state:
+//
+//   * one DatalogEngine for all migrations — its persistent EDB join
+//     indexes and compiled-rule cache survive across Migrate calls and the
+//     distinguishing-input probes of interactive mode;
+//   * the process-wide interned-string pool (values interned while reading
+//     the example are reused when migrating the full instance);
+//   * schemas validated once, instead of re-copied and re-trusted by three
+//     separate classes.
+//
+// Every call takes a RunContext carrying the run's deadline, CancelToken,
+// and ProgressObserver; errors come back as typed ErrorCodes (see
+// src/api/README.md for the full taxonomy):
+//
+//   kSchemaMismatch    schema invalid / instance inconsistent with schema
+//   kSynthesisFailure  no program consistent with the example
+//   kTimeout           the RunContext (or default budget) deadline passed
+//   kCancelled         the CancelToken was triggered
+//   kEvalBudget        an iteration/tuple budget exhausted
+//   kAmbiguous         several programs remain and the options demand one
+//
+// The legacy Synthesizer / InteractiveSynthesizer / Migrator classes are
+// thin deprecated shims kept for source compatibility; new code should use
+// a Session.
+
+#ifndef DYNAMITE_API_SESSION_H_
+#define DYNAMITE_API_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "api/run_context.h"
+#include "migrate/migrator.h"
+#include "schema/schema.h"
+#include "synth/interactive.h"
+#include "synth/synthesizer.h"
+#include "util/result.h"
+
+namespace dynamite {
+
+/// Knobs for a Session, grouping the per-stage options that used to live on
+/// three separate classes. Wall-clock budgeting is unified: per-call
+/// RunContext deadlines govern, defaulted by `default_budget_seconds`; the
+/// legacy SynthesisOptions::timeout_seconds knob is ignored here.
+struct SessionOptions {
+  /// Synthesis-stage knobs (analysis/MDP toggles, filtering, iteration and
+  /// per-candidate evaluation budgets). timeout_seconds is superseded by
+  /// the budget model above.
+  SynthesisOptions synthesis;
+  /// Interactive-stage knobs (rounds, probe width, query size).
+  InteractiveOptions interactive;
+  /// Engine options for the migration engine (the synthesis stage keeps its
+  /// own per-candidate evaluation engine, configured from `synthesis`).
+  DatalogEngine::Options engine;
+  /// Budget applied when a call's RunContext deadline is infinite; <= 0
+  /// means unbounded. One knob instead of four scattered ones.
+  double default_budget_seconds = 600;
+  /// When true, SynthesizeInteractive fails with kAmbiguous if the
+  /// validation pool cannot distinguish the remaining candidates (instead
+  /// of silently accepting the first). The cheap Synthesize call is
+  /// unaffected.
+  bool fail_on_ambiguity = false;
+};
+
+/// Result of the one-shot SynthesizeAndMigrate pipeline.
+struct PipelineResult {
+  SynthesisResult synthesis;
+  RecordForest migrated;
+  MigrationStats migration;
+};
+
+/// One synthesis-and-migration session over a fixed (source, target) schema
+/// pair. Re-entrant in the sense that calls can be issued repeatedly and
+/// reuse the session's engine caches; not thread-safe (one Session per
+/// thread, matching the engine's single-threaded contract).
+class Session {
+ public:
+  /// Validates both schemas (kSchemaMismatch on failure) and builds the
+  /// shared pipeline state.
+  static Result<Session> Create(Schema source, Schema target,
+                                SessionOptions options = SessionOptions());
+
+  /// Synthesizes a migration program from one input-output example.
+  /// Errors: kSchemaMismatch (example inconsistent with the schemas),
+  /// kSynthesisFailure, kTimeout, kCancelled, kEvalBudget.
+  Result<SynthesisResult> Synthesize(const Example& example,
+                                     const RunContext& ctx = RunContext()) const;
+
+  /// Interactive synthesis (§5): resolves ambiguity with distinguishing
+  /// queries answered by `oracle` over `validation_pool`. An oracle answer
+  /// of kCancelled stops the questioning and returns the best program so
+  /// far (InteractiveResult::cancelled = true, partial stats); kAmbiguous
+  /// when the pool cannot resolve and options().fail_on_ambiguity is set.
+  Result<InteractiveResult> SynthesizeInteractive(
+      const Example& example, const RecordForest& validation_pool, const Oracle& oracle,
+      const RunContext& ctx = RunContext()) const;
+
+  /// Executes `program` on a full source instance using the session's
+  /// shared engine (join indexes and compiled rules persist across calls).
+  /// Fills `*stats` if non-null.
+  Result<RecordForest> Migrate(const Program& program, const RecordForest& source,
+                               MigrationStats* stats = nullptr,
+                               const RunContext& ctx = RunContext()) const;
+
+  /// The whole paper pipeline in one call: synthesize from `example`, then
+  /// migrate `source_instance` with the synthesized program. One budget
+  /// covers both stages.
+  Result<PipelineResult> SynthesizeAndMigrate(const Example& example,
+                                              const RecordForest& source_instance,
+                                              const RunContext& ctx = RunContext()) const;
+
+  const Schema& source_schema() const { return source_; }
+  const Schema& target_schema() const { return target_; }
+  const SessionOptions& options() const { return options_; }
+
+  /// Cumulative statistics of the shared migration engine.
+  DatalogEngine::Stats engine_stats() const { return migrator_->engine_stats(); }
+
+ private:
+  Session(Schema source, Schema target, SessionOptions options);
+
+  /// Applies the default budget to a caller-supplied context and checks the
+  /// example/instance against the schemas (kSchemaMismatch).
+  RunContext Bounded(const RunContext& ctx) const;
+  Status CheckAgainstSchema(const RecordForest& forest, const Schema& schema,
+                            const char* what) const;
+
+  Schema source_;
+  Schema target_;
+  SessionOptions options_;
+  /// unique_ptr: Migrator owns a move-only DatalogEngine, and Session must
+  /// stay movable for Result<Session>.
+  std::unique_ptr<Migrator> migrator_;
+  std::unique_ptr<Synthesizer> synthesizer_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_API_SESSION_H_

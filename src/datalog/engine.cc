@@ -7,7 +7,6 @@
 #include <unordered_map>
 
 #include "datalog/index.h"
-#include "util/timer.h"
 
 namespace dynamite {
 
@@ -317,8 +316,14 @@ std::string RuleCacheKey(const Rule& rule, const std::string& idb_key) {
 
 class Evaluator {
  public:
-  Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes)
-      : options_(options), edb_indexes_(edb_indexes) {}
+  Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes,
+            const RunContext* ctx)
+      : options_(options),
+        edb_indexes_(edb_indexes),
+        deadline_(Deadline::Earliest(
+            Deadline::AfterOrInfinite(options.timeout_seconds),
+            ctx != nullptr ? ctx->deadline : Deadline::Infinite())),
+        cancel_(ctx != nullptr ? ctx->cancel : CancelToken()) {}
 
   Status Run(const std::vector<std::shared_ptr<const CompiledRule>>& rules,
              const FactDatabase& edb,
@@ -351,7 +356,7 @@ class Evaluator {
     size_t iterations = 0;
     while (any_recursive && any_delta) {
       if (++iterations > options_.max_iterations) {
-        return Status::Timeout("fixpoint iteration limit exceeded");
+        return Status::EvalBudget("fixpoint iteration limit exceeded");
       }
       for (const auto& rule : rules) {
         if (!rule->has_idb_body) continue;
@@ -381,15 +386,24 @@ class Evaluator {
     size_t hi = 0;
   };
 
-  /// Fixed-stride timeout check: counts every join candidate and head
-  /// emission, probing the clock every 1024 ticks regardless of how many
-  /// tuples are derived (the old check keyed off the derived count and
-  /// skipped the clock 1023/1024 of the time).
-  bool TimedOut() {
+  /// Fixed-stride interruption poll: counts every join candidate and head
+  /// emission, probing the cancel token and deadline every 1024 ticks
+  /// regardless of how many tuples are derived (the old check keyed off the
+  /// derived count and skipped the clock 1023/1024 of the time). On
+  /// interruption fills `*out` — kCancelled beats kTimeout — and returns
+  /// true.
+  bool Interrupted(Status* out) {
     if (++ticks_ < 1024) return false;
     ticks_ = 0;
-    return options_.timeout_seconds > 0 &&
-           timer_.ElapsedSeconds() > options_.timeout_seconds;
+    if (cancel_.cancelled()) {
+      *out = Status::Cancelled("evaluation cancelled");
+      return true;
+    }
+    if (deadline_.Expired()) {
+      *out = Status::Timeout("evaluation timeout");
+      return true;
+    }
+    return false;
   }
 
   Status EvalPlan(const CompiledRule& rule, const JoinPlan& plan,
@@ -449,12 +463,12 @@ class Evaluator {
         }
         if (head_rels[h]->InsertRow(head_buf.data(), head_buf.size())) {
           if (++derived_ > options_.max_derived_tuples) {
-            status = Status::Timeout("derived tuple limit exceeded");
+            status = Status::EvalBudget("derived tuple limit exceeded");
             return;
           }
         }
       }
-      if (TimedOut()) status = Status::Timeout("evaluation timeout");
+      Interrupted(&status);
     };
 
     // Recursive left-to-right matcher over the plan's atom order.
@@ -475,10 +489,7 @@ class Evaluator {
       // recursive programs at bench scale).
       auto try_row = [&](size_t ti) {
         if (!status.ok()) return;
-        if (TimedOut()) {
-          status = Status::Timeout("evaluation timeout");
-          return;
-        }
+        if (Interrupted(&status)) return;
         for (size_t p : pa.bind_positions) {
           env[static_cast<size_t>(pa.slots[p].var)] = v.rel->cell(ti, p);
         }
@@ -513,7 +524,8 @@ class Evaluator {
   DatalogEngine::Options options_;
   IndexCache* edb_indexes_;   // persistent across Eval calls (engine-owned)
   IndexCache idb_indexes_;    // per-Eval: IDB relations are fresh each run
-  Timer timer_;
+  Deadline deadline_;         // options timeout composed with RunContext
+  CancelToken cancel_;
   size_t derived_ = 0;
   size_t ticks_ = 0;
 };
@@ -547,7 +559,8 @@ DatalogEngine& DatalogEngine::operator=(DatalogEngine&&) noexcept = default;
 
 Result<FactDatabase> DatalogEngine::Eval(
     const Program& program, const FactDatabase& edb,
-    const std::map<std::string, std::vector<std::string>>& idb_signatures) const {
+    const std::map<std::string, std::vector<std::string>>& idb_signatures,
+    const RunContext* ctx) const {
   std::set<std::string> idb;
   std::string idb_key;
   for (const auto& [name, attrs] : idb_signatures) {
@@ -623,13 +636,14 @@ Result<FactDatabase> DatalogEngine::Eval(
 
   FactDatabase out;
   caches_->edb_indexes.MaybeEvict();  // safe here: no plan holds index pointers
-  Evaluator evaluator(options_, &caches_->edb_indexes);
+  Evaluator evaluator(options_, &caches_->edb_indexes, ctx);
   DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out));
   return out;
 }
 
 Result<FactDatabase> DatalogEngine::EvalAutoSignatures(const Program& program,
-                                                       const FactDatabase& edb) const {
+                                                       const FactDatabase& edb,
+                                                       const RunContext* ctx) const {
   std::map<std::string, std::vector<std::string>> sigs;
   for (const Rule& rule : program.rules) {
     for (const Atom& h : rule.heads) {
@@ -644,7 +658,7 @@ Result<FactDatabase> DatalogEngine::EvalAutoSignatures(const Program& program,
       sigs[h.relation] = std::move(attrs);
     }
   }
-  return Eval(program, edb, sigs);
+  return Eval(program, edb, sigs, ctx);
 }
 
 }  // namespace dynamite

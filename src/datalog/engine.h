@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "api/run_context.h"
 #include "datalog/ast.h"
 #include "util/result.h"
 #include "value/database.h"
@@ -43,15 +44,18 @@ namespace dynamite {
 class DatalogEngine {
  public:
   struct Options {
-    /// Fixpoint iteration cap (cycles in the rule dependency graph).
+    /// Fixpoint iteration cap (cycles in the rule dependency graph);
+    /// exceeding it aborts with kEvalBudget.
     size_t max_iterations = 1'000'000;
-    /// Hard cap on total derived tuples; evaluation aborts with kTimeout
+    /// Hard cap on total derived tuples; evaluation aborts with kEvalBudget
     /// when exceeded (guards against pathological joins, cf. §6.2 of the
     /// paper where random examples cause very large intermediate outputs).
     size_t max_derived_tuples = 20'000'000;
-    /// Wall-clock budget in seconds; <= 0 disables the check. Checked every
-    /// 1024 join-candidate inspections (a fixed stride independent of how
-    /// many tuples happen to be derived).
+    /// Per-Eval wall-clock budget in seconds; <= 0 disables the check.
+    /// Composed (Deadline::Earliest) with the RunContext deadline when one
+    /// is passed; either expiring aborts with kTimeout. Polled every 1024
+    /// join-candidate inspections (a fixed stride independent of how many
+    /// tuples happen to be derived).
     double timeout_seconds = 0;
     /// Reorder body atoms by estimated selectivity at compile time.
     bool reorder_joins = true;
@@ -79,14 +83,20 @@ class DatalogEngine {
   /// every intensional relation (relation -> attribute names); arities must
   /// match the head atoms. The result contains exactly the intensional
   /// relations.
+  ///
+  /// `ctx` (optional) bounds the evaluation: its deadline is composed with
+  /// Options::timeout_seconds (kTimeout on expiry) and its CancelToken is
+  /// polled at the same fixed stride (kCancelled on request).
   Result<FactDatabase> Eval(
       const Program& program, const FactDatabase& edb,
-      const std::map<std::string, std::vector<std::string>>& idb_signatures) const;
+      const std::map<std::string, std::vector<std::string>>& idb_signatures,
+      const RunContext* ctx = nullptr) const;
 
   /// Like Eval, but derives signatures automatically (attributes named
   /// "c0", "c1", ...).
   Result<FactDatabase> EvalAutoSignatures(const Program& program,
-                                          const FactDatabase& edb) const;
+                                          const FactDatabase& edb,
+                                          const RunContext* ctx = nullptr) const;
 
   /// Snapshot of the engine's cumulative counters (see Stats).
   Stats stats() const;

@@ -65,7 +65,7 @@ struct FactsEmitter {
 }  // namespace
 
 Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
-                             uint64_t* next_id) {
+                             uint64_t* next_id, const RunContext* ctx) {
   DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
   FactDatabase db;
   FactsEmitter emitter{schema, next_id, {}, {}};
@@ -74,7 +74,11 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
                               db.DeclareRelation(rec, FactSignature(schema, rec)));
     emitter.rels.emplace(rec, rel);
   }
+  size_t ticks = 0;
   for (const RecordNode& root : forest.roots) {
+    if (ctx != nullptr && (++ticks & 0xff) == 0) {
+      DYNAMITE_RETURN_NOT_OK(ctx->Check("facts conversion"));
+    }
     DYNAMITE_RETURN_NOT_OK(emitter.Emit(root, nullptr));
   }
   return db;
@@ -149,9 +153,11 @@ struct Rebuilder {
 
 }  // namespace
 
-Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema) {
+Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
+                                 const RunContext* ctx) {
   Rebuilder rb{db, schema, {}};
   RecordForest forest;
+  size_t ticks = 0;
   for (const std::string& rec : schema.TopLevelRecords()) {
     auto found = db.Find(rec);
     if (!found.ok()) continue;  // absent relation: no records of this type
@@ -163,6 +169,9 @@ Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema) {
                                      std::to_string(expected_arity));
     }
     for (size_t r = 0; r < rel->size(); ++r) {
+      if (ctx != nullptr && (++ticks & 0xff) == 0) {
+        DYNAMITE_RETURN_NOT_OK(ctx->Check("forest reconstruction"));
+      }
       forest.roots.push_back(rb.Build(rec, rel->row(r), 0));
     }
   }
@@ -281,13 +290,18 @@ void FlattenNode(const RecordNode& node, const Schema& schema,
 }  // namespace
 
 Result<Relation> FlattenForestView(const RecordForest& forest, const Schema& schema,
-                                   const std::string& top_record) {
+                                   const std::string& top_record,
+                                   const RunContext* ctx) {
   if (!schema.IsRecord(top_record)) {
     return Status::InvalidArgument("not a record type: " + top_record);
   }
   Relation view("flat_" + top_record, schema.PrimAttrbsOfTree(top_record));
+  size_t ticks = 0;
   for (const RecordNode& root : forest.roots) {
     if (root.type != top_record) continue;
+    if (ctx != nullptr && (++ticks & 0xff) == 0) {
+      DYNAMITE_RETURN_NOT_OK(ctx->Check("flatten view"));
+    }
     std::vector<Value> prefix;
     std::vector<std::vector<Value>> rows;
     FlattenNode(root, schema, &prefix, &rows);
@@ -297,10 +311,10 @@ Result<Relation> FlattenForestView(const RecordForest& forest, const Schema& sch
 }
 
 Result<Relation> FlattenView(const FactDatabase& db, const Schema& schema,
-                             const std::string& top_record) {
-  DYNAMITE_ASSIGN_OR_RETURN(RecordForest forest, BuildForest(db, schema));
+                             const std::string& top_record, const RunContext* ctx) {
+  DYNAMITE_ASSIGN_OR_RETURN(RecordForest forest, BuildForest(db, schema, ctx));
   // Keep only the requested tree's roots (BuildForest builds all).
-  return FlattenForestView(forest, schema, top_record);
+  return FlattenForestView(forest, schema, top_record, ctx);
 }
 
 }  // namespace dynamite

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/run_context.h"
 #include "instance/record_forest.h"
 #include "schema/schema.h"
 #include "util/result.h"
@@ -37,14 +38,17 @@ std::map<std::string, std::vector<std::string>> FactSignatures(const Schema& sch
 
 /// Converts a record forest into Datalog facts. Fresh identifiers are drawn
 /// from `*next_id` (incremented); relations are declared for every record
-/// type of the schema (even if empty).
+/// type of the schema (even if empty). `ctx` (optional) is polled between
+/// top-level records: cancellation/deadline aborts the conversion.
 Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
-                             uint64_t* next_id);
+                             uint64_t* next_id, const RunContext* ctx = nullptr);
 
 /// Inverse of ToFacts: reconstructs a record forest from fact relations
 /// (the paper's BuildRecord procedure, applied to every top-level record).
-/// Ignores relations not present in `db` (treated as empty).
-Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema);
+/// Ignores relations not present in `db` (treated as empty). `ctx` as in
+/// ToFacts.
+Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
+                                 const RunContext* ctx = nullptr);
 
 /// Canonical, order-insensitive fingerprints of the forest's root records
 /// (sorted). Two forests represent the same database instance iff their
@@ -60,11 +64,13 @@ bool ForestEquals(const RecordForest& a, const RecordForest& b);
 /// analysis (§4.3) runs on this view so that differences in nesting
 /// structure are visible to projections.
 Result<Relation> FlattenView(const FactDatabase& db, const Schema& schema,
-                             const std::string& top_record);
+                             const std::string& top_record,
+                             const RunContext* ctx = nullptr);
 
 /// FlattenView starting from a record forest (used for expected outputs).
 Result<Relation> FlattenForestView(const RecordForest& forest, const Schema& schema,
-                                   const std::string& top_record);
+                                   const std::string& top_record,
+                                   const RunContext* ctx = nullptr);
 
 }  // namespace dynamite
 

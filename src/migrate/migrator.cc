@@ -6,25 +6,45 @@ namespace dynamite {
 
 Result<RecordForest> Migrator::Migrate(const Program& program, const RecordForest& source,
                                        MigrationStats* stats) const {
+  return Migrate(program, source, RunContext(), stats);
+}
+
+Result<RecordForest> Migrator::Migrate(const Program& program, const RecordForest& source,
+                                       const RunContext& ctx,
+                                       MigrationStats* stats) const {
   MigrationStats local;
   local.source_records = source.TotalRecords();
 
+  ProgressEvent event;
+  event.phase = Phase::kMigrate;
+  Timer total;
+  auto report = [&](const char* stage) {
+    event.detail = stage;
+    event.elapsed_seconds = total.ElapsedSeconds();
+    event.plan_refreshes = engine_.stats().plan_refreshes;
+    ctx.Report(event);
+  };
+
   Timer timer;
   uint64_t next_id = 1;
-  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb, ToFacts(source, source_schema_, &next_id));
+  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb,
+                            ToFacts(source, source_schema_, &next_id, &ctx));
   local.source_facts = edb.TotalFacts();
   local.to_facts_seconds = timer.ElapsedSeconds();
+  report("facts");
 
   timer.Reset();
-  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase idb,
-                            engine_.Eval(program, edb, FactSignatures(target_schema_)));
+  DYNAMITE_ASSIGN_OR_RETURN(
+      FactDatabase idb, engine_.Eval(program, edb, FactSignatures(target_schema_), &ctx));
   local.target_facts = idb.TotalFacts();
   local.eval_seconds = timer.ElapsedSeconds();
+  report("eval");
 
   timer.Reset();
-  DYNAMITE_ASSIGN_OR_RETURN(RecordForest target, BuildForest(idb, target_schema_));
+  DYNAMITE_ASSIGN_OR_RETURN(RecordForest target, BuildForest(idb, target_schema_, &ctx));
   local.target_records = target.TotalRecords();
   local.build_seconds = timer.ElapsedSeconds();
+  report("build");
 
   if (stats != nullptr) *stats = local;
   return target;

@@ -5,6 +5,7 @@
 #ifndef DYNAMITE_MIGRATE_MIGRATOR_H_
 #define DYNAMITE_MIGRATE_MIGRATOR_H_
 
+#include "api/run_context.h"
 #include "datalog/ast.h"
 #include "datalog/engine.h"
 #include "instance/record_forest.h"
@@ -28,6 +29,11 @@ struct MigrationStats {
 
 /// Migrates a source instance (as a record forest) to the target schema by
 /// executing `program`; returns the target instance as a record forest.
+///
+/// Deprecated as a user-facing entry point: prefer dynamite::Session
+/// (src/api/session.h), which shares one engine (and its join indexes /
+/// compiled-rule caches) across synthesis and repeated migrations. This
+/// class remains as the migration-stage implementation.
 class Migrator {
  public:
   Migrator(Schema source_schema, Schema target_schema,
@@ -40,8 +46,18 @@ class Migrator {
   Result<RecordForest> Migrate(const Program& program, const RecordForest& source,
                                MigrationStats* stats = nullptr) const;
 
+  /// Context-bounded variant: `ctx` deadline/cancellation is honored in all
+  /// three stages (facts conversion, evaluation, forest reconstruction) and
+  /// a kMigrate progress event fires as each stage completes.
+  Result<RecordForest> Migrate(const Program& program, const RecordForest& source,
+                               const RunContext& ctx,
+                               MigrationStats* stats = nullptr) const;
+
   const Schema& source_schema() const { return source_schema_; }
   const Schema& target_schema() const { return target_schema_; }
+
+  /// Cumulative statistics of the owned engine (see DatalogEngine::Stats).
+  DatalogEngine::Stats engine_stats() const { return engine_.stats(); }
 
  private:
   Schema source_schema_;

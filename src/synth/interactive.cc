@@ -2,6 +2,7 @@
 
 #include "migrate/facts.h"
 #include "migrate/migrator.h"
+#include "util/timer.h"
 
 namespace dynamite {
 
@@ -55,26 +56,65 @@ void ForEachSubset(const RecordForest& pool, size_t max_size, size_t budget,
 Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
                                                       const RecordForest& validation_pool,
                                                       const Oracle& oracle) const {
+  // Legacy shim: the synthesis options' timeout governs each round's
+  // synthesis (as before); the loop itself is bounded by max_rounds only.
+  return Run(std::move(example), validation_pool, oracle, RunContext());
+}
+
+Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
+                                                      const RecordForest& validation_pool,
+                                                      const Oracle& oracle,
+                                                      const RunContext& ctx,
+                                                      const Migrator* shared_migrator) const {
   InteractiveResult out;
-  Migrator migrator(source_, target_);
+  Migrator local_migrator(source_, target_);
+  const Migrator& migrator =
+      shared_migrator != nullptr ? *shared_migrator : local_migrator;
+  Timer total;
+
+  auto report = [&](const std::string& detail) {
+    if (!ctx.observer) return;
+    ProgressEvent event;
+    event.phase = Phase::kInteract;
+    event.detail = detail;
+    event.rounds = out.rounds;
+    event.queries = out.queries;
+    event.elapsed_seconds = total.ElapsedSeconds();
+    ctx.Report(event);
+  };
+
+  // Synthesizes the final result from the accumulated example (shared by
+  // every exit path: resolved, pool-exhausted, oracle-cancelled, or round
+  // budget spent).
+  auto finish = [&]() -> Result<InteractiveResult> {
+    Synthesizer synth(source_, target_, synth_options_);
+    DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example, ctx));
+    out.result = std::move(result);
+    return out;
+  };
 
   for (size_t round = 0; round < options_.max_rounds; ++round) {
+    DYNAMITE_RETURN_NOT_OK(ctx.Check("interactive round"));
     ++out.rounds;
+    report("round");
     Synthesizer synth(source_, target_, synth_options_);
-    DYNAMITE_ASSIGN_OR_RETURN(std::vector<Program> programs,
-                              synth.SynthesizeDistinct(example, options_.max_programs));
+    DYNAMITE_ASSIGN_OR_RETURN(
+        std::vector<Program> programs,
+        synth.SynthesizeDistinct(example, options_.max_programs, ctx));
     if (programs.empty()) {
       return Status::SynthesisFailure("no consistent program");
     }
     if (programs.size() == 1) {
       out.unique = true;
-      DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
-      out.result = std::move(result);
-      return out;
+      return finish();
     }
 
     // Search a distinguishing input between the first program and any
-    // alternative.
+    // alternative. Probe migrations run under a context without the
+    // observer: they are internal (hundreds per round), and their kMigrate
+    // events would be indistinguishable from a user-requested migration.
+    RunContext probe_ctx = ctx;
+    probe_ctx.observer = nullptr;
     const Program& p1 = programs[0];
     bool resolved_this_round = false;
     for (size_t alt = 1; alt < programs.size() && !resolved_this_round; ++alt) {
@@ -84,8 +124,9 @@ Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
       ForEachSubset(validation_pool, options_.max_query_records,
                     options_.max_candidate_inputs,
                     [&](const RecordForest& candidate) {
-                      auto o1 = migrator.Migrate(p1, candidate);
-                      auto o2 = migrator.Migrate(p2, candidate);
+                      if (ctx.Interrupted()) return true;  // stop enumerating
+                      auto o1 = migrator.Migrate(p1, candidate, probe_ctx);
+                      auto o2 = migrator.Migrate(p2, candidate, probe_ctx);
                       if (!o1.ok() || !o2.ok()) return false;
                       if (!ForestEquals(*o1, *o2)) {
                         distinguishing = candidate;
@@ -94,12 +135,25 @@ Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
                       }
                       return false;
                     });
+      DYNAMITE_RETURN_NOT_OK(ctx.Check("distinguishing-input search"));
       if (found) {
         ++out.queries;
-        DYNAMITE_ASSIGN_OR_RETURN(RecordForest answer, oracle(distinguishing));
+        report("query");
+        auto answer = oracle(distinguishing);
+        if (!answer.ok()) {
+          if (answer.status().code() == StatusCode::kCancelled) {
+            // The user declined to keep answering: not a synthesis failure.
+            // Stop querying and return the best program for the answers
+            // accumulated so far, with partial interaction stats.
+            out.cancelled = true;
+            out.unique = false;
+            return finish();
+          }
+          return answer.status();
+        }
         Example extra;
         extra.input = distinguishing;
-        extra.output = answer;
+        extra.output = std::move(answer).ValueOrDie();
         example.Merge(extra);
         resolved_this_round = true;
       }
@@ -108,16 +162,11 @@ Result<InteractiveResult> InteractiveSynthesizer::Run(Example example,
       // Candidates are observationally equivalent on the validation pool:
       // accept the first program.
       out.unique = false;
-      DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
-      out.result = std::move(result);
-      return out;
+      return finish();
     }
   }
   // Round budget exhausted: synthesize from the accumulated example.
-  Synthesizer synth(source_, target_, synth_options_);
-  DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult result, synth.Synthesize(example));
-  out.result = std::move(result);
-  return out;
+  return finish();
 }
 
 }  // namespace dynamite

@@ -15,6 +15,8 @@
 
 namespace dynamite {
 
+class Migrator;
+
 /// Answers a distinguishing query: given a source input, returns the target
 /// output the user expects. In tests and benchmarks this is the golden
 /// program run by a Migrator.
@@ -32,11 +34,20 @@ struct InteractiveResult {
   size_t rounds = 0;   ///< rounds executed (>= 1)
   size_t queries = 0;  ///< oracle questions asked
   bool unique = false;  ///< true if ambiguity was fully resolved
+  /// True when the oracle answered kCancelled: the loop stopped asking and
+  /// `result` holds the program synthesized from the answers gathered so
+  /// far (partial stats in `rounds`/`queries`). Distinct from cancelling
+  /// the whole run via RunContext, which fails with kCancelled instead.
+  bool cancelled = false;
 };
 
 /// Runs interactive synthesis: `initial` is the starting example,
 /// `validation_pool` a forest of source records distinguishing inputs are
 /// drawn from (Appendix B samples it from the source database).
+///
+/// Deprecated as a user-facing entry point: prefer
+/// dynamite::Session::SynthesizeInteractive (src/api/session.h). This class
+/// remains as the interactive-stage implementation.
 class InteractiveSynthesizer {
  public:
   InteractiveSynthesizer(Schema source, Schema target,
@@ -45,6 +56,16 @@ class InteractiveSynthesizer {
 
   Result<InteractiveResult> Run(Example initial, const RecordForest& validation_pool,
                                 const Oracle& oracle) const;
+
+  /// Context-bounded variant: the deadline/cancellation applies across
+  /// rounds (synthesis, distinguishing-input search, migrations), and a
+  /// kInteract progress event fires per round and per oracle query.
+  /// `shared_migrator` (optional) runs the distinguishing-input probes —
+  /// a Session passes its own so probe join indexes persist across rounds
+  /// and calls; when null a round-local Migrator is used.
+  Result<InteractiveResult> Run(Example initial, const RecordForest& validation_pool,
+                                const Oracle& oracle, const RunContext& ctx,
+                                const Migrator* shared_migrator = nullptr) const;
 
  private:
   Schema source_;

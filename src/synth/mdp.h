@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "api/run_context.h"
 #include "value/relation.h"
 
 namespace dynamite {
@@ -27,9 +28,15 @@ struct MdpOptions {
 /// actual output view and the expected output view (same attribute lists).
 /// Returns an empty set when no MDP is found within the limits (callers
 /// fall back to the non-MDP Generalize).
+///
+/// `ctx` (optional) is polled between BFS expansions: on cancellation or
+/// deadline the search stops and whatever MDPs were found so far are
+/// returned (the analysis is best-effort; the enclosing loop notices the
+/// interruption at its own poll and aborts the run).
 std::vector<std::vector<std::string>> MDPSet(const Relation& actual,
                                              const Relation& expected,
-                                             const MdpOptions& options = MdpOptions());
+                                             const MdpOptions& options = MdpOptions(),
+                                             const RunContext* ctx = nullptr);
 
 }  // namespace dynamite
 

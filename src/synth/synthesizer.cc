@@ -16,6 +16,42 @@ namespace dynamite {
 
 namespace {
 
+/// Cumulative progress state for one Synthesize call: rule enumerators
+/// report through this so `iterations` and `coverage` are monotone across
+/// the whole run, not per rule.
+struct ProgressTracker {
+  const RunContext* ctx = nullptr;
+  Timer timer;
+  size_t done_iterations = 0;  ///< iterations of completed rules
+  double space_known = 0;      ///< product of spaces of started rules
+
+  /// Folds the sketch space of a rule that is starting enumeration.
+  void StartRule(double rule_space) {
+    space_known = space_known == 0 ? rule_space : space_known * rule_space;
+  }
+
+  void Report(Phase phase, const std::string& detail, size_t rule_iterations) const {
+    if (ctx == nullptr || !ctx->observer) return;
+    ProgressEvent event;
+    event.phase = phase;
+    event.detail = detail;
+    event.iterations = done_iterations + rule_iterations;
+    event.search_space = space_known;
+    if (space_known > 0) {
+      event.coverage =
+          std::min(1.0, static_cast<double>(event.iterations) / space_known);
+    }
+    event.elapsed_seconds = timer.ElapsedSeconds();
+    ctx->Report(event);
+  }
+};
+
+/// Candidate batch size between interruption/progress polls inside the
+/// enumeration loop. Each iteration is a SAT solve plus a program
+/// evaluation, so even a single batch is coarse-grained work; cancellation
+/// latency is bounded by one batch.
+constexpr size_t kProgressStride = 64;
+
 /// Per-target-record synthesis context: enumerates consistent rules.
 class RuleSynthesizer {
  public:
@@ -50,10 +86,9 @@ class RuleSynthesizer {
   }
 
   /// Returns the next rule consistent with the example; kSynthesisFailure
-  /// when the search space is exhausted; kTimeout on budget exhaustion.
-  /// `deadline_seconds` is the remaining wall-clock budget.
-  Result<Rule> Next(double deadline_seconds) {
-    Timer timer;
+  /// when the search space is exhausted; kTimeout / kCancelled when `ctx`
+  /// interrupts the run; kEvalBudget when max_iterations is spent.
+  Result<Rule> Next(const RunContext& ctx, ProgressTracker* progress) {
     if (have_last_success_) {
       // Continue the enumeration past the last success.
       DYNAMITE_RETURN_NOT_OK(
@@ -61,11 +96,11 @@ class RuleSynthesizer {
       have_last_success_ = false;
     }
     for (;;) {
-      if (timer.ElapsedSeconds() > deadline_seconds) {
-        return Status::Timeout("synthesis timeout for record " + sketch_.target_record);
-      }
+      // One shared poll per candidate: the same Deadline/CancelToken every
+      // other stage uses, so budgets cannot drift between loops.
+      DYNAMITE_RETURN_NOT_OK(ctx.Check("candidate search"));
       if (iterations_ >= options_.max_iterations) {
-        return Status::Timeout("iteration budget exhausted");
+        return Status::EvalBudget("iteration budget exhausted");
       }
       DYNAMITE_ASSIGN_OR_RETURN(bool sat, solver_.Solve());
       if (!sat) {
@@ -73,10 +108,12 @@ class RuleSynthesizer {
                                         sketch_.target_record);
       }
       ++iterations_;
+      if (progress != nullptr && iterations_ % kProgressStride == 0) {
+        progress->Report(Phase::kSearch, sketch_.target_record, iterations_);
+      }
       if (debug_ && iterations_ % 200 == 0) {
-        std::fprintf(stderr, "[synth %s] iters=%zu t=%.1fs clauses=%zu conflicts=%lld\n",
-                     sketch_.target_record.c_str(), iterations_, timer.ElapsedSeconds(),
-                     solver_.num_clauses(),
+        std::fprintf(stderr, "[synth %s] iters=%zu clauses=%zu conflicts=%lld\n",
+                     sketch_.target_record.c_str(), iterations_, solver_.num_clauses(),
                      static_cast<long long>(solver_.num_conflicts()));
       }
       SketchModel model = ExtractModel(encoding_, solver_);
@@ -84,10 +121,15 @@ class RuleSynthesizer {
 
       Program candidate;
       candidate.rules.push_back(rule);
-      auto eval = engine_.Eval(candidate, edb_, idb_sigs_);
+      auto eval = engine_.Eval(candidate, edb_, idb_sigs_, &ctx);
       if (!eval.ok()) {
-        if (eval.status().code() == StatusCode::kTimeout) {
-          // Candidate too expensive to evaluate: block exactly this model.
+        StatusCode code = eval.status().code();
+        if (code == StatusCode::kTimeout || code == StatusCode::kEvalBudget) {
+          // The run itself may have been interrupted mid-eval (the engine
+          // folds the context deadline into its own): propagate that.
+          // Otherwise the candidate alone was too expensive (per-candidate
+          // eval budget): block exactly this model and move on.
+          DYNAMITE_RETURN_NOT_OK(ctx.Check("candidate evaluation"));
           DYNAMITE_RETURN_NOT_OK(
               solver_.AddConstraint(FdExpr::Not(ModelEquality(encoding_, model))));
           continue;
@@ -111,7 +153,7 @@ class RuleSynthesizer {
       if (options_.use_mdp) {
         auto actual_flat = FlattenForestView(actual, target_, sketch_.target_record);
         if (actual_flat.ok()) {
-          mdps = MDPSet(actual_flat.ValueOrDie(), expected_flat_, options_.mdp);
+          mdps = MDPSet(actual_flat.ValueOrDie(), expected_flat_, options_.mdp, &ctx);
         }
       }
       DYNAMITE_RETURN_NOT_OK(
@@ -161,10 +203,15 @@ struct Setup {
 };
 
 Result<Setup> Prepare(const Schema& source, const Schema& target, const Example& example,
-                      const SynthesisOptions& options) {
+                      const SynthesisOptions& options, const RunContext& ctx,
+                      ProgressTracker* progress) {
   Setup setup;
+  progress->Report(Phase::kInferMapping, "", 0);
+  DYNAMITE_RETURN_NOT_OK(ctx.Check("attribute-mapping inference"));
   DYNAMITE_ASSIGN_OR_RETURN(AttributeMapping psi, InferAttrMapping(source, target, example));
   setup.psi = std::move(psi);
+  progress->Report(Phase::kSketch, "", 0);
+  DYNAMITE_RETURN_NOT_OK(ctx.Check("sketch generation"));
   SketchGenOptions gen_options;
   gen_options.enable_filtering = options.enable_filtering;
   gen_options.max_constants_per_hole = options.max_constants_per_hole;
@@ -174,7 +221,7 @@ Result<Setup> Prepare(const Schema& source, const Schema& target, const Example&
                 gen_options));
   setup.sketches = std::move(sketches);
   uint64_t next_id = 1;
-  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb, ToFacts(example.input, source, &next_id));
+  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb, ToFacts(example.input, source, &next_id, &ctx));
   setup.edb = std::move(edb);
   return setup;
 }
@@ -185,8 +232,22 @@ Synthesizer::Synthesizer(Schema source, Schema target, SynthesisOptions options)
     : source_(std::move(source)), target_(std::move(target)), options_(options) {}
 
 Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
+  return Synthesize(example, RunContext());
+}
+
+Result<SynthesisResult> Synthesizer::Synthesize(const Example& example,
+                                                const RunContext& caller_ctx) const {
+  // The legacy `timeout_seconds` knob composes with the caller's budget:
+  // this call is bounded by whichever is tighter (Session neutralizes the
+  // knob so its RunContext is the single budget; legacy context-free
+  // callers get a fresh per-call window, as before).
+  RunContext ctx =
+      caller_ctx.WithDeadlineCap(Deadline::AfterOrInfinite(options_.timeout_seconds));
   Timer total;
-  DYNAMITE_ASSIGN_OR_RETURN(Setup setup, Prepare(source_, target_, example, options_));
+  ProgressTracker progress;
+  progress.ctx = &ctx;
+  DYNAMITE_ASSIGN_OR_RETURN(Setup setup,
+                            Prepare(source_, target_, example, options_, ctx, &progress));
 
   SynthesisResult result;
   result.psi = setup.psi;
@@ -194,9 +255,9 @@ Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
     Timer rule_timer;
     RuleSynthesizer rs(source_, target_, std::move(sketch), setup.edb, example, options_);
     DYNAMITE_RETURN_NOT_OK(rs.Init());
-    double remaining = options_.timeout_seconds - total.ElapsedSeconds();
-    if (remaining <= 0) return Status::Timeout("synthesis timeout");
-    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs.Next(remaining));
+    DYNAMITE_RETURN_NOT_OK(ctx.Check("synthesis"));
+    progress.StartRule(rs.search_space());
+    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs.Next(ctx, &progress));
     result.raw_program.rules.push_back(rule);
     RuleStats stats;
     stats.target_record = rs.target_record();
@@ -206,6 +267,8 @@ Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
     result.rule_stats.push_back(std::move(stats));
     result.search_space *= rs.search_space();
     result.iterations += rs.iterations();
+    progress.done_iterations += rs.iterations();
+    progress.Report(Phase::kSearch, rs.target_record(), 0);
   }
   result.program = SimplifyProgram(result.raw_program);
   for (size_t i = 0; i < result.program.rules.size(); ++i) {
@@ -217,8 +280,18 @@ Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
 
 Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& example,
                                                              size_t limit) const {
-  Timer total;
-  DYNAMITE_ASSIGN_OR_RETURN(Setup setup, Prepare(source_, target_, example, options_));
+  return SynthesizeDistinct(example, limit, RunContext());
+}
+
+Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& example,
+                                                             size_t limit,
+                                                             const RunContext& caller_ctx) const {
+  RunContext ctx =
+      caller_ctx.WithDeadlineCap(Deadline::AfterOrInfinite(options_.timeout_seconds));
+  ProgressTracker progress;
+  progress.ctx = &ctx;
+  DYNAMITE_ASSIGN_OR_RETURN(Setup setup,
+                            Prepare(source_, target_, example, options_, ctx, &progress));
 
   // First program, keeping each rule's enumerator alive.
   std::vector<std::unique_ptr<RuleSynthesizer>> enumerators;
@@ -227,22 +300,33 @@ Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& exam
     auto rs = std::make_unique<RuleSynthesizer>(source_, target_, std::move(sketch),
                                                 setup.edb, example, options_);
     DYNAMITE_RETURN_NOT_OK(rs->Init());
-    double remaining = options_.timeout_seconds - total.ElapsedSeconds();
-    if (remaining <= 0) return Status::Timeout("synthesis timeout");
-    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs->Next(remaining));
+    DYNAMITE_RETURN_NOT_OK(ctx.Check("synthesis"));
+    progress.StartRule(rs->search_space());
+    DYNAMITE_ASSIGN_OR_RETURN(Rule rule, rs->Next(ctx, &progress));
     first.rules.push_back(rule);
+    progress.done_iterations += rs->iterations();
     enumerators.push_back(std::move(rs));
   }
   std::vector<Program> programs = {first};
 
-  // Alternative programs: vary one rule at a time.
+  // Alternative programs: vary one rule at a time. Budget exhaustion here
+  // returns what was found (ambiguity probing is best-effort); cancellation
+  // still aborts the whole call.
   for (size_t i = 0; i < enumerators.size() && programs.size() < limit; ++i) {
+    // Progress reports from enumerator i add its own cumulative count, so
+    // the baseline is every *other* enumerator's total (keeps `iterations`
+    // exact and monotone while one enumerator is re-entered).
+    progress.done_iterations = 0;
+    for (size_t j = 0; j < enumerators.size(); ++j) {
+      if (j != i) progress.done_iterations += enumerators[j]->iterations();
+    }
     for (;;) {
       if (programs.size() >= limit) break;
-      double remaining = options_.timeout_seconds - total.ElapsedSeconds();
-      if (remaining <= 0) break;
-      auto alt = enumerators[i]->Next(remaining);
-      if (!alt.ok()) break;  // exhausted or timed out: move to next rule
+      auto alt = enumerators[i]->Next(ctx, &progress);
+      if (!alt.ok()) {
+        if (alt.status().code() == StatusCode::kCancelled) return alt.status();
+        break;  // exhausted or timed out: move to next rule
+      }
       // Keep only semantically new variants.
       if (RuleEquivalent(*alt, first.rules[i])) continue;
       bool duplicate = false;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/run_context.h"
 #include "datalog/ast.h"
 #include "datalog/engine.h"
 #include "schema/schema.h"
@@ -38,9 +39,12 @@ struct SynthesisOptions {
   /// Filtering extension (§5): constants in hole domains.
   bool enable_filtering = false;
   size_t max_constants_per_hole = 4;
-  /// Wall-clock budget for the whole Synthesize call.
+  /// Legacy wall-clock knob: each Synthesize/SynthesizeDistinct call is
+  /// bounded by a fresh window of this many seconds (<= 0 disables),
+  /// composed (Deadline::Earliest) with any RunContext deadline. Session
+  /// sets it to 0 so the RunContext is the single budget.
   double timeout_seconds = 600;
-  /// Cap on sampled models across all rules.
+  /// Cap on sampled models across all rules (kEvalBudget when exhausted).
   size_t max_iterations = 5'000'000;
   /// MDP search limits.
   MdpOptions mdp;
@@ -70,6 +74,13 @@ struct SynthesisResult {
 };
 
 /// Programming-by-example synthesizer for schema-mapping Datalog programs.
+///
+/// Deprecated as a user-facing entry point: prefer dynamite::Session
+/// (src/api/session.h), which validates schemas once, shares engine state
+/// across pipeline phases, and exposes the same calls with cancellation and
+/// progress observation. This class remains as the synthesis-stage
+/// implementation and as a thin shim for existing callers: the context-free
+/// overloads wrap the legacy `timeout_seconds` knob into a RunContext.
 class Synthesizer {
  public:
   Synthesizer(Schema source, Schema target,
@@ -79,11 +90,21 @@ class Synthesizer {
   /// kSynthesisFailure / kTimeout.
   Result<SynthesisResult> Synthesize(const Example& example) const;
 
+  /// Like above, bounded and observed by `ctx` (kTimeout on deadline,
+  /// kCancelled on cancellation, kEvalBudget on max_iterations); progress
+  /// events fire per phase and per candidate batch.
+  Result<SynthesisResult> Synthesize(const Example& example,
+                                     const RunContext& ctx) const;
+
   /// Finds up to `limit` pairwise *semantically distinct* consistent
   /// programs (used by interactive mode to detect ambiguity). The first
   /// element equals Synthesize()'s result.
   Result<std::vector<Program>> SynthesizeDistinct(const Example& example,
                                                   size_t limit) const;
+
+  /// Context-bounded variant of SynthesizeDistinct.
+  Result<std::vector<Program>> SynthesizeDistinct(const Example& example, size_t limit,
+                                                  const RunContext& ctx) const;
 
   const Schema& source_schema() const { return source_; }
   const Schema& target_schema() const { return target_; }

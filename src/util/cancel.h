@@ -1,0 +1,58 @@
+// Cooperative cancellation, modeled on std::stop_source / std::stop_token
+// (C++17 build, so hand-rolled): a CancelSource owns the request flag, the
+// CancelTokens it hands out observe it. Requesting cancellation is a relaxed
+// atomic store, safe from any thread — including a signal-handler-adjacent
+// UI thread cancelling a synthesis running elsewhere; polling is a relaxed
+// load, cheap enough for the engine's inner join loops.
+//
+// Cancellation is cooperative: the pipeline polls at every budgeted loop
+// (candidate enumeration, engine ticks, MDP expansions, interactive rounds)
+// and unwinds with ErrorCode::kCancelled.
+
+#ifndef DYNAMITE_UTIL_CANCEL_H_
+#define DYNAMITE_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace dynamite {
+
+/// Observer half: polled by the pipeline. Default-constructed tokens are
+/// never cancelled and cost one pointer test to poll.
+class CancelToken {
+ public:
+  /// A token that can never be cancelled.
+  CancelToken() = default;
+
+  /// True once the owning CancelSource requested cancellation.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Owner half: kept by whoever may need to stop the run.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, callable from any thread.
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// A token observing this source (copyable, outlives nothing: shared state).
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_CANCEL_H_

@@ -28,6 +28,14 @@ const char* StatusCodeToString(StatusCode code) {
       return "Timeout";
     case StatusCode::kSynthesisFailure:
       return "SynthesisFailure";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kSchemaMismatch:
+      return "SchemaMismatch";
+    case StatusCode::kEvalBudget:
+      return "EvalBudget";
+    case StatusCode::kAmbiguous:
+      return "Ambiguous";
   }
   return "Unknown";
 }

@@ -26,9 +26,18 @@ enum class StatusCode {
   kParseError,
   kTypeError,
   kUnsat,          ///< a constraint system has no model
-  kTimeout,        ///< a bounded search exhausted its budget
+  kTimeout,        ///< the run's wall-clock deadline passed
   kSynthesisFailure,  ///< no Datalog program consistent with the examples
+  kCancelled,      ///< the run's CancelToken was triggered
+  kSchemaMismatch,  ///< schema invalid, or instance inconsistent with schema
+  kEvalBudget,     ///< a non-wall-clock budget (iterations, tuples) exhausted
+  kAmbiguous,      ///< several semantically distinct programs remain
 };
+
+/// Alias used by the Session pipeline API: callers branch on
+/// `result.status().code()` against these values (see src/api/README.md for
+/// the taxonomy and which call returns which code).
+using ErrorCode = StatusCode;
 
 /// Human-readable name of a StatusCode.
 const char* StatusCodeToString(StatusCode code);
@@ -81,6 +90,18 @@ class Status {
   }
   static Status SynthesisFailure(std::string msg) {
     return Status(StatusCode::kSynthesisFailure, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status SchemaMismatch(std::string msg) {
+    return Status(StatusCode::kSchemaMismatch, std::move(msg));
+  }
+  static Status EvalBudget(std::string msg) {
+    return Status(StatusCode::kEvalBudget, std::move(msg));
+  }
+  static Status Ambiguous(std::string msg) {
+    return Status(StatusCode::kAmbiguous, std::move(msg));
   }
 
   /// True if this status represents success.

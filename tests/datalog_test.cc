@@ -145,7 +145,7 @@ TEST(DatalogEngine, TupleLimitAborts) {
   DatalogEngine engine(options);
   auto result = engine.EvalAutoSignatures(p, db);
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(result.status().code(), StatusCode::kEvalBudget);
 }
 
 TEST(DatalogEngine, UnknownBodyRelationFails) {
