@@ -153,6 +153,33 @@ void BM_DatalogTransitiveClosure(benchmark::State& state) {
 }
 BENCHMARK(BM_DatalogTransitiveClosure)->Arg(50)->Arg(200);
 
+void BM_FixpointParallel(benchmark::State& state) {
+  // The parallel-fixpoint headline number: string TC at num_threads = 1 vs
+  // 4 (ISSUE 4). Results are bit-identical across thread counts, so the
+  // pair isolates pure engine scaling; CI gates on the 1-vs-4 ratio when
+  // the runner has >= 4 cores (see .github/workflows/ci.yml).
+  FactDatabase db = StringEdges(static_cast<int>(state.range(0)));
+  Program p = Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").ValueOrDie();
+  DatalogEngine::Options opts;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  DatalogEngine engine(opts);
+  size_t derived = 0;
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    derived = out.ValueOrDie().TotalFacts();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(derived));
+}
+BENCHMARK(BM_FixpointParallel)
+    ->Args({200, 1})
+    ->Args({200, 4})
+    ->Args({400, 1})
+    ->Args({400, 4});
+
 void BM_SatPigeonHole(benchmark::State& state) {
   // php(n+1, n): UNSAT, exercises clause learning.
   int holes = static_cast<int>(state.range(0));

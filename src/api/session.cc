@@ -15,7 +15,14 @@ Session::Session(Schema source, Schema target, SessionOptions options)
   // come from RunContext deadlines (see Bounded()).
   SynthesisOptions synth = options_.synthesis;
   synth.timeout_seconds = 0;
-  migrator_ = std::make_unique<Migrator>(source_, target_, options_.engine);
+  // One thread-count knob for both engines; the stage-level options stay
+  // authoritative when the session-level knob is left at 0.
+  DatalogEngine::Options engine = options_.engine;
+  if (options_.num_threads != 0) {
+    engine.num_threads = options_.num_threads;
+    synth.eval_num_threads = options_.num_threads;
+  }
+  migrator_ = std::make_unique<Migrator>(source_, target_, engine);
   synthesizer_ = std::make_unique<Synthesizer>(source_, target_, synth);
 }
 
@@ -73,6 +80,7 @@ Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
       CheckAgainstSchema(validation_pool, source_, "validation pool vs source schema"));
   SynthesisOptions synth = options_.synthesis;
   synth.timeout_seconds = 0;
+  if (options_.num_threads != 0) synth.eval_num_threads = options_.num_threads;
   InteractiveSynthesizer interactive(source_, target_, synth, options_.interactive);
   RunContext bounded = Bounded(ctx);
   DYNAMITE_ASSIGN_OR_RETURN(

@@ -61,6 +61,15 @@ struct SessionOptions {
   /// Budget applied when a call's RunContext deadline is infinite; <= 0
   /// means unbounded. One knob instead of four scattered ones.
   double default_budget_seconds = 600;
+  /// Engine worker threads for Datalog evaluation, applied (when non-zero)
+  /// to both the shared migration engine and the synthesis stage's
+  /// candidate-evaluation engine. 0 (default) defers to the engine-level
+  /// settings (whose own default is "auto": DYNAMITE_NUM_THREADS or
+  /// sequential); 1 forces the exact sequential behavior; > 1 fans out.
+  /// The Session itself stays one-per-thread; the engines fan out
+  /// internally and their results are bit-identical at any thread count,
+  /// so this is purely a throughput knob.
+  size_t num_threads = 0;
   /// When true, SynthesizeInteractive fails with kAmbiguous if the
   /// validation pool cannot distinguish the remaining candidates (instead
   /// of silently accepting the first). The cheap Synthesize call is

@@ -1,12 +1,17 @@
 #include "datalog/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 
 #include "datalog/index.h"
+#include "util/thread_pool.h"
 
 namespace dynamite {
 
@@ -62,6 +67,12 @@ struct CompiledRule {
   /// chosen; the statistics-refresh check compares them against current
   /// sizes to decide whether a cached plan is stale (≥4x drift).
   std::vector<std::pair<std::string, size_t>> edb_stats;
+  /// Round-0 sizes of this rule's IDB body relations, recorded after pass 0
+  /// of the first Eval that ran it (empty until then). The IDB half of the
+  /// statistics refresh: recursion-heavy programs never drift their EDB
+  /// stats, so without this a cached recursive plan was pinned to the
+  /// kIdbCardinality guess forever (the pre-ISSUE-4 bug).
+  std::vector<std::pair<std::string, size_t>> idb_stats;
 };
 
 /// Uncompiled body atom with its variable slots resolved.
@@ -154,8 +165,13 @@ std::vector<size_t> IdentityOrder(size_t n) {
   return order;
 }
 
+/// Compiles `rule` into join plans. `idb_sizes`, when non-null, supplies
+/// observed IDB relation cardinalities (round-0 sizes from a running
+/// fixpoint) to replace the kIdbCardinality guess when ordering joins; the
+/// sizes used are recorded in the result's idb_stats for later drift checks.
 Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& idb,
-                                 const FactDatabase& edb, bool reorder) {
+                                 const FactDatabase& edb, bool reorder,
+                                 const std::map<std::string, size_t>* idb_sizes = nullptr) {
   CompiledRule out;
   std::map<std::string, int> var_slot;
   auto slot_of = [&](const std::string& v) {
@@ -175,6 +191,15 @@ Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& 
     raw.is_idb = idb.count(atom.relation) > 0;
     if (raw.is_idb) {
       raw.cardinality = kIdbCardinality;
+      if (idb_sizes != nullptr) {
+        auto it = idb_sizes->find(atom.relation);
+        if (it != idb_sizes->end()) {
+          raw.cardinality = it->second;
+          bool seen = false;
+          for (const auto& [name, size] : out.idb_stats) seen = seen || name == atom.relation;
+          if (!seen) out.idb_stats.emplace_back(atom.relation, it->second);
+        }
+      }
       idb_atom_indices.push_back(raws.size());
     } else {
       auto rel = edb.Find(atom.relation);
@@ -314,21 +339,29 @@ std::string RuleCacheKey(const Rule& rule, const std::string& idb_key) {
   return key;
 }
 
+/// Recompiles rule `rule_index` against observed IDB round-0 sizes, updates
+/// the engine's rule cache + refresh counter, and returns the new rule.
+using IdbRefreshFn = std::function<Result<std::shared_ptr<CompiledRule>>(
+    size_t rule_index, const std::map<std::string, size_t>& idb_sizes)>;
+
 class Evaluator {
  public:
+  /// `pool_provider` (may be empty = sequential) is invoked at most once,
+  /// at the first plan large enough to parallelize — engines whose
+  /// evaluations never cross the threshold never spawn threads.
   Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes,
-            const RunContext* ctx)
+            const RunContext* ctx, std::function<ThreadPool*()> pool_provider)
       : options_(options),
         edb_indexes_(edb_indexes),
         deadline_(Deadline::Earliest(
             Deadline::AfterOrInfinite(options.timeout_seconds),
             ctx != nullptr ? ctx->deadline : Deadline::Infinite())),
-        cancel_(ctx != nullptr ? ctx->cancel : CancelToken()) {}
+        cancel_(ctx != nullptr ? ctx->cancel : CancelToken()),
+        pool_provider_(std::move(pool_provider)) {}
 
-  Status Run(const std::vector<std::shared_ptr<const CompiledRule>>& rules,
-             const FactDatabase& edb,
+  Status Run(std::vector<std::shared_ptr<CompiledRule>>& rules, const FactDatabase& edb,
              const std::map<std::string, std::vector<std::string>>& idb_sigs,
-             FactDatabase* out) {
+             FactDatabase* out, const IdbRefreshFn& refresh_idb) {
     for (const auto& [name, attrs] : idb_sigs) {
       DYNAMITE_ASSIGN_OR_RETURN(Relation * rel, out->DeclareRelation(name, attrs));
       (void)rel;
@@ -351,6 +384,40 @@ class Evaluator {
 
     bool any_recursive = false;
     for (const auto& rule : rules) any_recursive = any_recursive || rule->has_idb_body;
+
+    // Statistics refresh, IDB half. Round-0 sizes are the first real
+    // cardinality signal recursive rules ever get (their EDB stats don't
+    // move when only the derived relations grow): record them on the
+    // rule's first Eval, and on later Evals replan when they have drifted
+    // ≥4x. Deterministic — round-0 output does not depend on num_threads —
+    // so stats().plan_refreshes is identical at any thread count.
+    if (any_recursive) {
+      std::map<std::string, size_t> idb_sizes;
+      for (const auto& [name, range] : delta) idb_sizes[name] = range.second;
+      for (size_t ri = 0; ri < rules.size(); ++ri) {
+        CompiledRule& rule = *rules[ri];
+        if (!rule.has_idb_body) continue;
+        if (rule.idb_stats.empty()) {
+          std::set<std::string> seen;
+          for (const std::string& name : rule.idb_body_relations) {
+            if (seen.insert(name).second) {
+              rule.idb_stats.emplace_back(name, idb_sizes.at(name));
+            }
+          }
+          continue;
+        }
+        if (refresh_idb == nullptr) continue;
+        bool stale = false;
+        for (const auto& [name, planned] : rule.idb_stats) {
+          auto it = idb_sizes.find(name);
+          stale = stale || (it != idb_sizes.end() &&
+                            CardinalityDrifted(planned, it->second));
+        }
+        if (stale) {
+          DYNAMITE_ASSIGN_OR_RETURN(rules[ri], refresh_idb(ri, idb_sizes));
+        }
+      }
+    }
 
     // Semi-naive fixpoint for recursive programs.
     size_t iterations = 0;
@@ -386,12 +453,23 @@ class Evaluator {
     size_t hi = 0;
   };
 
+  // Parallel evaluation thresholds: plans whose first-atom range is smaller
+  // than kParallelMinRows run sequentially (chunk + merge overhead would
+  // dominate); larger ranges split into at most kChunksPerWorker chunks per
+  // worker (work-stealing granularity) of at least kMinRowsPerChunk rows.
+  // Chunk boundaries depend only on the range and the worker count, never
+  // on scheduling, so a given engine configuration is fully deterministic.
+  static constexpr size_t kParallelMinRows = 256;
+  static constexpr size_t kChunksPerWorker = 4;
+  static constexpr size_t kMinRowsPerChunk = 64;
+
   /// Fixed-stride interruption poll: counts every join candidate and head
   /// emission, probing the cancel token and deadline every 1024 ticks
   /// regardless of how many tuples are derived (the old check keyed off the
   /// derived count and skipped the clock 1023/1024 of the time). On
   /// interruption fills `*out` — kCancelled beats kTimeout — and returns
-  /// true.
+  /// true. Sequential path only; parallel workers poll through
+  /// SharedInterrupt on per-worker strides.
   bool Interrupted(Status* out) {
     if (++ticks_ < 1024) return false;
     ticks_ = 0;
@@ -404,6 +482,276 @@ class Evaluator {
       return true;
     }
     return false;
+  }
+
+  /// Cross-worker interruption state for one parallel plan evaluation.
+  /// Workers poll their own tick stride (so latency does not scale with the
+  /// worker count) and publish the first cancel/timeout here; the relaxed
+  /// `stop` flag short-circuits every other worker within one stride.
+  struct SharedInterrupt {
+    const CancelToken* cancel = nullptr;
+    const Deadline* deadline = nullptr;
+    std::atomic<bool> stop{false};
+    std::mutex mu;
+    Status status;  // first interruption wins; guarded by mu
+
+    /// Polled every 1024 per-worker ticks. Cancel outranks timeout, as in
+    /// the sequential Interrupted().
+    bool ShouldStop() {
+      if (stop.load(std::memory_order_relaxed)) return true;
+      if (cancel->cancelled()) {
+        Report(Status::Cancelled("evaluation cancelled"));
+        return true;
+      }
+      if (deadline->Expired()) {
+        Report(Status::Timeout("evaluation timeout"));
+        return true;
+      }
+      return false;
+    }
+
+    void Report(Status s) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (status.ok()) status = std::move(s);
+      stop.store(true, std::memory_order_relaxed);
+    }
+
+    Status TakeStatus() {
+      std::lock_guard<std::mutex> lock(mu);
+      return status;
+    }
+  };
+
+  /// One head relation's buffered emissions within a chunk: flat rows, their
+  /// precomputed hashes (so the single-threaded merge never hashes), and a
+  /// local open-addressing dedup table. Dropping an intra-buffer duplicate
+  /// is always sound: the earlier copy reaches the head relation first at
+  /// merge time, so the later InsertRow would certainly have returned false
+  /// — and unsuccessful inserts neither change relation state nor count
+  /// against the derived budget.
+  struct HeadBuffer {
+    static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+    size_t arity = 0;
+    std::vector<Value> values;   // num_rows * arity, row-major
+    std::vector<size_t> hashes;  // parallel to rows
+    std::vector<uint32_t> dedup_slots;
+    size_t num_rows = 0;
+
+    const Value* RowAt(size_t r) const { return values.data() + r * arity; }
+
+    /// Buffers the row unless an identical row is already buffered; returns
+    /// true if appended.
+    bool Add(const Value* row, size_t hash) {
+      if (dedup_slots.empty()) {
+        dedup_slots.assign(64, kEmptySlot);
+      } else if ((num_rows + 1) * 4 > dedup_slots.size() * 3) {
+        Regrow(dedup_slots.size() * 2);
+      }
+      size_t mask = dedup_slots.size() - 1;
+      size_t s = hash & mask;
+      while (dedup_slots[s] != kEmptySlot) {
+        size_t r = dedup_slots[s];
+        if (hashes[r] == hash && std::equal(RowAt(r), RowAt(r) + arity, row)) {
+          return false;
+        }
+        s = (s + 1) & mask;
+      }
+      dedup_slots[s] = static_cast<uint32_t>(num_rows);
+      values.insert(values.end(), row, row + arity);
+      hashes.push_back(hash);
+      ++num_rows;
+      return true;
+    }
+
+    void Regrow(size_t new_slot_count) {
+      dedup_slots.assign(new_slot_count, kEmptySlot);
+      size_t mask = new_slot_count - 1;
+      for (size_t r = 0; r < num_rows; ++r) {
+        size_t s = hashes[r] & mask;
+        while (dedup_slots[s] != kEmptySlot) s = (s + 1) & mask;
+        dedup_slots[s] = static_cast<uint32_t>(r);
+      }
+    }
+  };
+
+  /// All emissions of one chunk, in emission order. head_seq interleaves
+  /// multi-head rules (which head emitted next); single-head rules skip it
+  /// and merge straight off heads[0].
+  struct EmitBuffer {
+    std::vector<HeadBuffer> heads;
+    std::vector<uint32_t> head_seq;
+  };
+
+  /// Per-worker scratch reused across chunks and plan evaluations: variable
+  /// environment, probe-key buffers, head-row buffer, and the worker's own
+  /// interruption tick counter (satellite of ISSUE 4: a single shared
+  /// counter would make cancel latency scale with the worker count).
+  struct WorkerScratch {
+    std::vector<Value> env;
+    std::vector<std::vector<Value>> key_bufs;
+    std::vector<Value> head_buf;
+    size_t ticks = 0;
+
+    void Prepare(const CompiledRule& rule, const JoinPlan& plan) {
+      env.assign(static_cast<size_t>(rule.num_slots), Value());
+      if (key_bufs.size() < plan.atoms.size()) key_bufs.resize(plan.atoms.size());
+    }
+  };
+
+  /// Sequential sink: inserts head rows directly into the output relations,
+  /// byte-for-byte the pre-parallel engine behavior (shared tick counter,
+  /// immediate dedup, budget checked per successful insert).
+  struct DirectSink {
+    Evaluator* ev;
+    const CompiledRule* rule;
+    const std::vector<Relation*>* head_rels;
+    std::vector<Value> head_buf;
+    Status status;
+
+    bool Stopped() const { return !status.ok(); }
+    bool OnCandidate() { return ev->Interrupted(&status); }
+
+    void OnMatch(const std::vector<Value>& env) {
+      for (size_t h = 0; h < rule->heads.size(); ++h) {
+        const auto& head = rule->heads[h];
+        head_buf.clear();
+        for (const Slot& s : head.slots) {
+          head_buf.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        if ((*head_rels)[h]->InsertRow(head_buf.data(), head_buf.size())) {
+          if (++ev->derived_ > ev->options_.max_derived_tuples) {
+            status = Status::EvalBudget("derived tuple limit exceeded");
+            return;
+          }
+        }
+      }
+      ev->Interrupted(&status);
+    }
+  };
+
+  /// Parallel worker sink: buffers (pre-hashed, locally deduped) head rows
+  /// into the chunk's EmitBuffer and polls interruption on the worker's own
+  /// 1024-tick stride.
+  ///
+  /// `buffered_limit` bounds memory the way the sequential budget bounds
+  /// it: every unique buffered (head, row) either already exists in that
+  /// head relation (counted in the plan-entry head sizes) or becomes a
+  /// successful merge insert (counted against max_derived_tuples), so a
+  /// chunk buffering more than `head_rows_at_entry + budget + 1` unique
+  /// rows proves the merge would exceed the budget — abort with the same
+  /// kEvalBudget the merge (and the sequential path) would return, at any
+  /// thread count, instead of materializing an unbounded cross product.
+  struct BufferSink {
+    const CompiledRule* rule;
+    EmitBuffer* buf;
+    SharedInterrupt* shared;
+    WorkerScratch* scratch;
+    size_t buffered_limit;
+    size_t buffered = 0;
+    bool stopped = false;
+
+    bool Stopped() const { return stopped; }
+
+    bool OnCandidate() {
+      if (++scratch->ticks < 1024) return false;
+      scratch->ticks = 0;
+      if (shared->ShouldStop()) stopped = true;
+      return stopped;
+    }
+
+    void OnMatch(const std::vector<Value>& env) {
+      std::vector<Value>& head_buf = scratch->head_buf;
+      for (size_t h = 0; h < rule->heads.size(); ++h) {
+        const auto& head = rule->heads[h];
+        head_buf.clear();
+        for (const Slot& s : head.slots) {
+          head_buf.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        bool appended = buf->heads[h].Add(
+            head_buf.data(), HashValueRange(head_buf.data(), head_buf.size()));
+        if (appended) {
+          if (rule->heads.size() > 1) buf->head_seq.push_back(static_cast<uint32_t>(h));
+          if (++buffered > buffered_limit) {
+            shared->Report(Status::EvalBudget("derived tuple limit exceeded"));
+            stopped = true;
+            return;
+          }
+        }
+      }
+      (void)OnCandidate();  // one tick per match, mirroring the sequential poll
+    }
+  };
+
+  /// Recursive left-to-right matcher over the plan's atom order, with the
+  /// first atom's scan restricted to [lo0, hi0) — the unit of parallel
+  /// partitioning. Shared verbatim by the sequential and parallel paths via
+  /// the Sink parameter, so the two cannot drift apart semantically.
+  template <typename Sink>
+  static void MatchPlan(const JoinPlan& plan, const std::vector<AtomView>& views,
+                        size_t lo0, size_t hi0, std::vector<Value>& env,
+                        std::vector<std::vector<Value>>& key_bufs, Sink& sink) {
+    auto match = [&](auto&& self, size_t atom_idx) -> void {
+      if (sink.Stopped()) return;
+      if (atom_idx == plan.atoms.size()) {
+        sink.OnMatch(env);
+        return;
+      }
+      const PlanAtom& pa = plan.atoms[atom_idx];
+      const AtomView& v = views[atom_idx];
+      size_t lo = atom_idx == 0 ? lo0 : v.lo;
+      size_t hi = atom_idx == 0 ? hi0 : v.hi;
+
+      // Inspects the row at index ti, reading only the bind/check columns
+      // (columnar storage: the other columns are never touched). cell()
+      // re-fetches column storage on every read: the sequential sink
+      // appends to IDB relations mid-scan, which can reallocate the column
+      // vectors (the pre-rewrite engine held references across the append
+      // and crashed on recursive programs at bench scale). The parallel
+      // path never appends mid-scan — relations are frozen until the merge
+      // — which is what makes concurrent chunk evaluation safe.
+      auto try_row = [&](size_t ti) {
+        if (sink.Stopped()) return;
+        if (sink.OnCandidate()) return;
+        for (size_t p : pa.bind_positions) {
+          env[static_cast<size_t>(pa.slots[p].var)] = v.rel->cell(ti, p);
+        }
+        for (size_t p : pa.check_positions) {
+          if (v.rel->cell(ti, p) != env[static_cast<size_t>(pa.slots[p].var)]) return;
+        }
+        self(self, atom_idx + 1);
+      };
+
+      if (v.index == nullptr) {
+        for (size_t ti = lo; ti < hi && !sink.Stopped(); ++ti) try_row(ti);
+      } else {
+        std::vector<Value>& key_vals = key_bufs[atom_idx];
+        key_vals.clear();
+        for (size_t p : pa.key_positions) {
+          const Slot& s = pa.slots[p];
+          key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        }
+        const std::vector<uint32_t>* matches =
+            v.index->Lookup(*v.rel, key_vals.data(), key_vals.size());
+        if (matches == nullptr) return;
+        // Posting lists are sorted ascending; restrict to [lo, hi).
+        auto it = std::lower_bound(matches->begin(), matches->end(),
+                                   static_cast<uint32_t>(lo));
+        for (; it != matches->end() && *it < hi && !sink.Stopped(); ++it) try_row(*it);
+      }
+    };
+    match(match, 0);
+  }
+
+  /// Resolves (and on first use creates) the worker pool; nullptr means
+  /// this engine evaluates sequentially.
+  ThreadPool* AcquirePool() {
+    if (!pool_resolved_) {
+      pool_resolved_ = true;
+      pool_ = pool_provider_ ? pool_provider_() : nullptr;
+      if (pool_ != nullptr) worker_scratch_.resize(pool_->num_workers());
+    }
+    return pool_;
   }
 
   Status EvalPlan(const CompiledRule& rule, const JoinPlan& plan,
@@ -443,82 +791,114 @@ class Evaluator {
       DYNAMITE_ASSIGN_OR_RETURN(head_rels[i], out->FindMutable(rule.heads[i].relation));
     }
 
+    if (!plan.atoms.empty() && views[0].hi - views[0].lo >= kParallelMinRows &&
+        AcquirePool() != nullptr) {
+      return EvalPlanParallel(rule, plan, views, head_rels);
+    }
+
+    // Sequential path (num_threads=1, or a range too small to split).
     std::vector<Value> env(static_cast<size_t>(rule.num_slots));
     // Reusable probe-key buffers, one per plan depth (the matcher recurses,
-    // so a single shared buffer would be clobbered by deeper atoms), and one
-    // reusable head-row buffer: the inner loops allocate nothing.
+    // so a single shared buffer would be clobbered by deeper atoms): the
+    // inner loops allocate nothing.
     std::vector<std::vector<Value>> key_bufs(plan.atoms.size());
     for (size_t i = 0; i < plan.atoms.size(); ++i) {
       key_bufs[i].reserve(plan.atoms[i].key_positions.size());
     }
-    std::vector<Value> head_buf;
-    Status status = Status::OK();
+    DirectSink sink{this, &rule, &head_rels, {}, Status::OK()};
+    size_t lo0 = plan.atoms.empty() ? 0 : views[0].lo;
+    size_t hi0 = plan.atoms.empty() ? 0 : views[0].hi;
+    MatchPlan(plan, views, lo0, hi0, env, key_bufs, sink);
+    return sink.status;
+  }
 
-    auto emit = [&]() {
+  /// Parallel plan evaluation: partition the first atom's scan range into
+  /// chunks, match chunks on the pool against frozen relations (workers
+  /// emit into per-chunk buffers), then merge the buffers into the head
+  /// relations in ascending chunk order. The concatenation of per-chunk
+  /// emissions in chunk order is exactly the sequential emission sequence —
+  /// matching never observes mid-plan appends even sequentially (scan
+  /// bounds snapshot at plan entry) — so replaying it through the same
+  /// dedup logic yields bit-identical relation contents and row order.
+  Status EvalPlanParallel(const CompiledRule& rule, const JoinPlan& plan,
+                          const std::vector<AtomView>& views,
+                          const std::vector<Relation*>& head_rels) {
+    const size_t lo0 = views[0].lo;
+    const size_t range = views[0].hi - views[0].lo;
+    const size_t num_workers = pool_->num_workers();
+    const size_t num_chunks = std::min(num_workers * kChunksPerWorker,
+                                       std::max<size_t>(1, range / kMinRowsPerChunk));
+
+    std::vector<EmitBuffer> buffers(num_chunks);
+    for (EmitBuffer& buf : buffers) {
+      buf.heads.resize(rule.heads.size());
       for (size_t h = 0; h < rule.heads.size(); ++h) {
-        const auto& head = rule.heads[h];
-        head_buf.clear();
-        for (const Slot& s : head.slots) {
-          head_buf.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
-        }
-        if (head_rels[h]->InsertRow(head_buf.data(), head_buf.size())) {
-          if (++derived_ > options_.max_derived_tuples) {
-            status = Status::EvalBudget("derived tuple limit exceeded");
-            return;
-          }
+        buf.heads[h].arity = rule.heads[h].slots.size();
+      }
+    }
+
+    SharedInterrupt shared;
+    shared.cancel = &cancel_;
+    shared.deadline = &deadline_;
+    std::atomic<size_t> next_chunk{0};
+
+    // Per-chunk buffered-row bound; see BufferSink. Saturating arithmetic:
+    // the default budget is large and head relations can be too.
+    size_t head_rows_at_entry = 0;
+    for (const Relation* rel : head_rels) head_rows_at_entry += rel->size();
+    size_t buffered_limit = options_.max_derived_tuples;
+    if (buffered_limit + head_rows_at_entry >= buffered_limit) {
+      buffered_limit += head_rows_at_entry;
+    }
+
+    pool_->Run([&](size_t worker) {
+      WorkerScratch& scratch = worker_scratch_[worker];
+      scratch.Prepare(rule, plan);
+      for (;;) {
+        size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= num_chunks || shared.stop.load(std::memory_order_relaxed)) break;
+        size_t clo = lo0 + range * c / num_chunks;
+        size_t chi = lo0 + range * (c + 1) / num_chunks;
+        BufferSink sink{&rule, &buffers[c], &shared, &scratch, buffered_limit};
+        MatchPlan(plan, views, clo, chi, scratch.env, scratch.key_bufs, sink);
+      }
+    });
+
+    Status interrupted = shared.TakeStatus();
+    if (!interrupted.ok()) return interrupted;
+
+    // Single-threaded merge, ascending chunk order (= sequential emission
+    // order). Rows were hashed and locally deduped by the workers; the
+    // merge only probes the head relations' row tables and appends. It
+    // still polls cancel/deadline (Interrupted, the coordinator's own
+    // stride): a large buffered plan must stay interruptible.
+    Status merge_status = Status::OK();
+    auto merge_row = [&](Relation* rel, const HeadBuffer& hb, size_t r) {
+      if (rel->InsertRowPrehashed(hb.RowAt(r), hb.arity, hb.hashes[r])) {
+        if (++derived_ > options_.max_derived_tuples) {
+          merge_status = Status::EvalBudget("derived tuple limit exceeded");
+          return false;
         }
       }
-      Interrupted(&status);
+      return !Interrupted(&merge_status);
     };
-
-    // Recursive left-to-right matcher over the plan's atom order.
-    auto match = [&](auto&& self, size_t atom_idx) -> void {
-      if (!status.ok()) return;
-      if (atom_idx == plan.atoms.size()) {
-        emit();
-        return;
-      }
-      const PlanAtom& pa = plan.atoms[atom_idx];
-      const AtomView& v = views[atom_idx];
-
-      // Inspects the row at index ti, reading only the bind/check columns
-      // (columnar storage: the other columns are never touched). cell()
-      // re-fetches column storage on every read: emit() appends to IDB
-      // relations mid-scan, which can reallocate the column vectors (the
-      // pre-rewrite engine held references across the append and crashed on
-      // recursive programs at bench scale).
-      auto try_row = [&](size_t ti) {
-        if (!status.ok()) return;
-        if (Interrupted(&status)) return;
-        for (size_t p : pa.bind_positions) {
-          env[static_cast<size_t>(pa.slots[p].var)] = v.rel->cell(ti, p);
+    for (EmitBuffer& buf : buffers) {
+      if (rule.heads.size() == 1) {
+        HeadBuffer& hb = buf.heads[0];
+        Relation* rel = head_rels[0];
+        for (size_t r = 0; r < hb.num_rows; ++r) {
+          if (!merge_row(rel, hb, r)) return merge_status;
         }
-        for (size_t p : pa.check_positions) {
-          if (v.rel->cell(ti, p) != env[static_cast<size_t>(pa.slots[p].var)]) return;
-        }
-        self(self, atom_idx + 1);
-      };
-
-      if (v.index == nullptr) {
-        for (size_t ti = v.lo; ti < v.hi && status.ok(); ++ti) try_row(ti);
       } else {
-        std::vector<Value>& key_vals = key_bufs[atom_idx];
-        key_vals.clear();
-        for (size_t p : pa.key_positions) {
-          const Slot& s = pa.slots[p];
-          key_vals.push_back(s.is_const ? s.constant : env[static_cast<size_t>(s.var)]);
+        std::vector<size_t> cursors(rule.heads.size(), 0);
+        for (uint32_t h : buf.head_seq) {
+          HeadBuffer& hb = buf.heads[h];
+          size_t r = cursors[h]++;
+          if (!merge_row(head_rels[h], hb, r)) return merge_status;
         }
-        const std::vector<uint32_t>* matches =
-            v.index->Lookup(*v.rel, key_vals.data(), key_vals.size());
-        if (matches == nullptr) return;
-        // Posting lists are sorted ascending; restrict to [lo, hi).
-        auto it = std::lower_bound(matches->begin(), matches->end(),
-                                   static_cast<uint32_t>(v.lo));
-        for (; it != matches->end() && *it < v.hi && status.ok(); ++it) try_row(*it);
       }
-    };
-    match(match, 0);
-    return status;
+    }
+    return merge_status;
   }
 
   DatalogEngine::Options options_;
@@ -526,6 +906,10 @@ class Evaluator {
   IndexCache idb_indexes_;    // per-Eval: IDB relations are fresh each run
   Deadline deadline_;         // options timeout composed with RunContext
   CancelToken cancel_;
+  std::function<ThreadPool*()> pool_provider_;
+  ThreadPool* pool_ = nullptr;  // engine-owned, persistent; resolved lazily
+  bool pool_resolved_ = false;
+  std::vector<WorkerScratch> worker_scratch_;
   size_t derived_ = 0;
   size_t ticks_ = 0;
 };
@@ -536,10 +920,17 @@ class Evaluator {
 /// across Eval calls (see header comment on staleness trade-offs).
 struct DatalogEngine::Caches {
   IndexCache edb_indexes;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledRule>> rules;
-  /// Times a cached plan was recompiled because its EDB cardinality
-  /// statistics drifted ≥4x (exposed via DatalogEngine::stats()).
+  /// Entries are mutable (non-const CompiledRule) so a rule's idb_stats can
+  /// be recorded after round 0 of its first Eval; the engine is externally
+  /// single-threaded, so no locking is needed.
+  std::unordered_map<std::string, std::shared_ptr<CompiledRule>> rules;
+  /// Times a cached plan was recompiled because its cardinality statistics
+  /// drifted ≥4x — EDB drift at cache-hit time or IDB round-0 drift
+  /// mid-fixpoint (exposed via DatalogEngine::stats()).
   size_t plan_refreshes = 0;
+  /// Worker pool for Options::num_threads > 1; created lazily on the first
+  /// parallel Eval and reused for the engine's lifetime.
+  std::unique_ptr<ThreadPool> pool;
 
   static constexpr size_t kMaxRules = 8192;
 };
@@ -550,9 +941,27 @@ DatalogEngine::Stats DatalogEngine::stats() const {
   return s;
 }
 
+namespace {
+
+/// Resolves Options::num_threads = 0 ("auto"): DYNAMITE_NUM_THREADS if set
+/// to a valid count — how the TSan CI job pushes the entire existing test
+/// suite through the parallel evaluation path without per-test plumbing —
+/// else 1. An explicit num_threads (1 included) is never overridden.
+size_t EnvNumThreads() {
+  const char* env = std::getenv("DYNAMITE_NUM_THREADS");
+  if (env == nullptr) return 1;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  return (end != env && v > 1) ? static_cast<size_t>(v) : 1;
+}
+
+}  // namespace
+
 DatalogEngine::DatalogEngine() : DatalogEngine(Options()) {}
 DatalogEngine::DatalogEngine(Options options)
-    : options_(options), caches_(std::make_unique<Caches>()) {}
+    : options_(options), caches_(std::make_unique<Caches>()) {
+  if (options_.num_threads == 0) options_.num_threads = EnvNumThreads();
+}
 DatalogEngine::~DatalogEngine() = default;
 DatalogEngine::DatalogEngine(DatalogEngine&&) noexcept = default;
 DatalogEngine& DatalogEngine::operator=(DatalogEngine&&) noexcept = default;
@@ -600,7 +1009,7 @@ Result<FactDatabase> DatalogEngine::Eval(
   }
 
   // Compile (or fetch cached) rules.
-  std::vector<std::shared_ptr<const CompiledRule>> rules;
+  std::vector<std::shared_ptr<CompiledRule>> rules;
   rules.reserve(program.rules.size());
   for (const Rule& rule : program.rules) {
     if (options_.cache_compiled_rules) {
@@ -611,11 +1020,13 @@ Result<FactDatabase> DatalogEngine::Eval(
         // different relation sizes can be arbitrarily bad. Re-plan when any
         // EDB body cardinality drifted ≥4x; stale plans are only a
         // performance hazard, so the check is skipped when reordering is
-        // off (the plan would come out identical).
+        // off (the plan would come out identical). The IDB half of the
+        // check has to wait for round-0 sizes — see Evaluator::Run and the
+        // refresh_idb callback below.
         if (options_.reorder_joins && PlanIsStale(*it->second, edb)) {
           DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
                                     CompileRule(rule, idb, edb, options_.reorder_joins));
-          it->second = std::make_shared<const CompiledRule>(std::move(cr));
+          it->second = std::make_shared<CompiledRule>(std::move(cr));
           ++caches_->plan_refreshes;
         }
         rules.push_back(it->second);
@@ -624,20 +1035,51 @@ Result<FactDatabase> DatalogEngine::Eval(
       DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
                                 CompileRule(rule, idb, edb, options_.reorder_joins));
       if (caches_->rules.size() >= Caches::kMaxRules) caches_->rules.clear();
-      auto shared = std::make_shared<const CompiledRule>(std::move(cr));
+      auto shared = std::make_shared<CompiledRule>(std::move(cr));
       caches_->rules.emplace(std::move(key), shared);
       rules.push_back(std::move(shared));
     } else {
       DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
                                 CompileRule(rule, idb, edb, options_.reorder_joins));
-      rules.push_back(std::make_shared<const CompiledRule>(std::move(cr)));
+      rules.push_back(std::make_shared<CompiledRule>(std::move(cr)));
     }
+  }
+
+  // Mid-fixpoint replan hook for the IDB statistics refresh: recompile the
+  // rule with observed round-0 IDB sizes in place of the kIdbCardinality
+  // guess, and swap the cache entry so later Evals inherit the new plan.
+  // Disabled (like the EDB check) when reordering is off — the plan would
+  // come out identical — or when rules are not cached (no stats survive to
+  // drift against).
+  IdbRefreshFn refresh_idb;
+  if (options_.cache_compiled_rules && options_.reorder_joins) {
+    refresh_idb = [this, &program, &idb, &edb, &idb_key](
+                      size_t rule_index, const std::map<std::string, size_t>& idb_sizes)
+        -> Result<std::shared_ptr<CompiledRule>> {
+      const Rule& rule = program.rules[rule_index];
+      DYNAMITE_ASSIGN_OR_RETURN(
+          CompiledRule cr, CompileRule(rule, idb, edb, /*reorder=*/true, &idb_sizes));
+      auto shared = std::make_shared<CompiledRule>(std::move(cr));
+      auto it = caches_->rules.find(RuleCacheKey(rule, idb_key));
+      if (it != caches_->rules.end()) it->second = shared;
+      ++caches_->plan_refreshes;
+      return shared;
+    };
   }
 
   FactDatabase out;
   caches_->edb_indexes.MaybeEvict();  // safe here: no plan holds index pointers
-  Evaluator evaluator(options_, &caches_->edb_indexes, ctx);
-  DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out));
+  std::function<ThreadPool*()> pool_provider;
+  if (options_.num_threads > 1) {
+    pool_provider = [this]() {
+      if (caches_->pool == nullptr) {
+        caches_->pool = std::make_unique<ThreadPool>(options_.num_threads - 1);
+      }
+      return caches_->pool.get();
+    };
+  }
+  Evaluator evaluator(options_, &caches_->edb_indexes, ctx, std::move(pool_provider));
+  DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out, refresh_idb));
   return out;
 }
 

@@ -21,9 +21,18 @@
 //   * Compiled rules are cached across Eval calls (keyed by rule text and
 //     IDB signature), so repeated candidate checks skip recompilation. Join
 //     orders are chosen with the cardinalities seen at first compile; stale
-//     statistics can cost performance but never correctness.
+//     statistics trigger a re-plan (EDB drift at cache-hit time, IDB drift
+//     after round 0 of the fixpoint) but never cost correctness.
+//   * With Options::num_threads > 1 the engine fans plan evaluation out
+//     across a persistent internal worker pool (src/util/thread_pool.h):
+//     each plan's first-atom scan range is partitioned into chunks, workers
+//     emit into per-chunk buffers against frozen relations, and a
+//     single-threaded merge replays the buffers in canonical chunk order —
+//     so results (relation contents *and* row insertion order, stats
+//     counters, error codes) are bit-identical to num_threads=1.
 //
-// The engine is single-threaded and move-only (it owns the caches above).
+// The engine's public API stays single-threaded and move-only (one engine
+// per thread; it owns the caches above and fans out internally).
 
 #ifndef DYNAMITE_DATALOG_ENGINE_H_
 #define DYNAMITE_DATALOG_ENGINE_H_
@@ -55,21 +64,38 @@ class DatalogEngine {
     /// Composed (Deadline::Earliest) with the RunContext deadline when one
     /// is passed; either expiring aborts with kTimeout. Polled every 1024
     /// join-candidate inspections (a fixed stride independent of how many
-    /// tuples happen to be derived).
+    /// tuples happen to be derived); with num_threads > 1 every worker
+    /// polls on its own 1024-tick stride, so interruption latency does not
+    /// scale with the worker count.
     double timeout_seconds = 0;
     /// Reorder body atoms by estimated selectivity at compile time.
     bool reorder_joins = true;
     /// Cache compiled rules across Eval calls on this engine. Cached plans
     /// are re-planned automatically when any EDB body relation's
-    /// cardinality drifts ≥4x from the size seen at planning time (the
-    /// statistics-refresh check; see stats().plan_refreshes).
+    /// cardinality drifts ≥4x from the size seen at planning time, or —
+    /// for recursive rules — when an IDB body relation's round-0 size
+    /// drifts ≥4x from the size recorded on the first Eval (the
+    /// statistics-refresh checks; see stats().plan_refreshes).
     bool cache_compiled_rules = true;
+    /// Worker threads for plan evaluation. 0 (the default) means "auto":
+    /// the DYNAMITE_NUM_THREADS environment variable if set (the lever the
+    /// TSan CI job uses to push the whole test suite through the parallel
+    /// path), else sequential. 1 is *always* the exact sequential code
+    /// path — an explicit request for no threads is never overridden.
+    /// Values > 1 partition each plan's first-atom scan range across a
+    /// persistent pool of num_threads workers (the calling thread
+    /// participates). Results are bit-identical for every value.
+    size_t num_threads = 0;
   };
 
-  /// Counters accumulated across Eval calls on this engine.
+  /// Counters accumulated across Eval calls on this engine. Deterministic:
+  /// identical for the same Eval sequence at any num_threads.
   struct Stats {
     /// Cached rules recompiled because their join-order statistics went
-    /// stale (≥4x cardinality drift on an EDB body relation).
+    /// stale: ≥4x cardinality drift on an EDB body relation (checked at
+    /// cache-hit time) or on a recursive rule's IDB body relation's
+    /// round-0 size (checked after pass 0 of each fixpoint, against the
+    /// sizes recorded on the rule's first Eval).
     size_t plan_refreshes = 0;
   };
 

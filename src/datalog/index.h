@@ -22,6 +22,14 @@
 // Per-key posting lists are sorted ascending by construction (rows are
 // indexed in insertion order), which is what makes range-restricted lookups
 // (the delta views) a lower_bound away.
+//
+// Thread-safety contract (ISSUE 4, parallel fixpoint): Refresh and
+// IndexCache::Get mutate and require exclusive access; Lookup is const and
+// safe to call concurrently from any number of threads provided no Refresh
+// (and no append to the underlying relation) runs at the same time. The
+// engine resolves and refreshes every index a plan needs single-threaded at
+// plan entry, then freezes all relations while worker threads probe — so
+// the parallel match phase only ever executes the concurrent-safe reads.
 
 #ifndef DYNAMITE_DATALOG_INDEX_H_
 #define DYNAMITE_DATALOG_INDEX_H_

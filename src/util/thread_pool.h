@@ -1,0 +1,115 @@
+// ThreadPool: a small persistent worker pool for the parallel fixpoint.
+//
+// The Datalog engine partitions a join plan's first-atom scan range into
+// chunks and evaluates them on this pool (see src/datalog/engine.cc). The
+// pool is created once per engine and reused across every Eval call — the
+// synthesizer evaluates thousands of candidate programs, so per-call thread
+// spawn/join would dwarf the work being parallelized.
+//
+// The calling thread participates: a pool constructed with `num_spawned`
+// threads executes Run() callbacks with `num_spawned + 1`-way parallelism
+// (worker index 0 is the caller). This keeps num_threads semantics exact —
+// an engine configured with num_threads=4 holds a pool of 3 spawned threads
+// — and means a pool of 0 spawned threads degenerates to a plain call.
+//
+// All hand-off is mutex/condvar based (no lock-free queues): Run() is
+// invoked at most a few times per fixpoint round, so dispatch latency is
+// irrelevant next to the chunk work, and the simple protocol is trivially
+// clean under TSan. Run() is not reentrant and must only be called from one
+// thread at a time (the engine's evaluator is the only caller). Callbacks
+// must not throw.
+
+#ifndef DYNAMITE_UTIL_THREAD_POOL_H_
+#define DYNAMITE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynamite {
+
+/// Persistent worker pool; see file comment for the participation model.
+class ThreadPool {
+ public:
+  /// Spawns `num_spawned` worker threads (0 is valid: Run degenerates to a
+  /// plain call of fn(0)).
+  explicit ThreadPool(size_t num_spawned) {
+    threads_.reserve(num_spawned);
+    for (size_t i = 0; i < num_spawned; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Total parallelism of Run(): spawned workers plus the caller.
+  size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Invokes fn(w) once for every worker index w in [0, num_workers());
+  /// fn(0) runs on the calling thread. Returns when every invocation has
+  /// completed. Not reentrant.
+  void Run(const std::function<void(size_t)>& fn) {
+    if (threads_.empty()) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      ++generation_;
+      remaining_ = threads_.size();
+    }
+    wake_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void WorkerLoop(size_t worker_index) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(size_t)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)(worker_index);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0) done_.notify_one();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(size_t)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_THREAD_POOL_H_

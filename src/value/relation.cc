@@ -98,7 +98,12 @@ bool Relation::RowEqualsValues(size_t idx, const Value* vals) const {
 }
 
 bool Relation::InsertRow(const Value* vals, size_t count) {
+  return InsertRowPrehashed(vals, count, HashValueRange(vals, count));
+}
+
+bool Relation::InsertRowPrehashed(const Value* vals, size_t count, size_t h) {
   assert(count == arity());
+  assert(h == HashValueRange(vals, count));
   (void)count;
   // Grow at 3/4 load (slot count is a power of two).
   if (slots_.empty()) {
@@ -106,7 +111,6 @@ bool Relation::InsertRow(const Value* vals, size_t count) {
   } else if ((num_rows_ + 1) * 4 > slots_.size() * 3) {
     Rehash(slots_.size() * 2);
   }
-  size_t h = HashValueRange(vals, arity());
   size_t mask = slots_.size() - 1;
   size_t i = h & mask;
   while (slots_[i] != kEmptySlot) {

@@ -1,18 +1,72 @@
 #include "value/string_pool.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "util/hash.h"
+
 namespace dynamite {
+
+StringPool::StringPool(uint32_t max_strings) : max_strings_(max_strings) {}
+
+StringPool::~StringPool() {
+  for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+}
 
 StringPool& StringPool::Global() {
   static StringPool* pool = new StringPool();  // never destroyed: ids and
   return *pool;                                // references outlive statics
 }
 
+StringPool::Shard& StringPool::ShardFor(std::string_view s) {
+  // Mix64: std::hash of short strings is decent, but the shard index uses
+  // only a few bits and must not correlate with the map's bucket choice.
+  return shards_[Mix64(std::hash<std::string_view>{}(s)) % kNumShards];
+}
+
 uint32_t StringPool::Intern(std::string_view s) {
-  auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(strings_.size());
-  strings_.emplace_back(s);
-  ids_.emplace(std::string_view(strings_.back()), id);
+  Result<uint32_t> id = TryIntern(s);
+  if (id.ok()) return id.ValueOrDie();
+  // Fail fast: a truncated/aliased id would silently corrupt every Value
+  // comparison from here on, and Value::String has no error channel.
+  std::fprintf(stderr, "StringPool::Intern: %s\n", id.status().ToString().c_str());
+  std::abort();
+}
+
+Result<uint32_t> StringPool::TryIntern(std::string_view s) {
+  Shard& shard = ShardFor(s);
+  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  auto it = shard.ids.find(s);
+  if (it != shard.ids.end()) return it->second;
+
+  const std::string* stored;
+  uint32_t id;
+  {
+    std::lock_guard<std::mutex> append_lock(append_mu_);
+    uint32_t n = size_.load(std::memory_order_relaxed);
+    if (n >= max_strings_) {
+      return Status::OutOfRange(
+          "string pool overflow: " + std::to_string(max_strings_) +
+          " distinct strings already interned; refusing to alias ids");
+    }
+    id = n;
+    size_t chunk, offset;
+    Locate(id, &chunk, &offset);
+    std::string* storage = chunks_[chunk].load(std::memory_order_relaxed);
+    if (storage == nullptr) {
+      storage = new std::string[size_t{1} << (chunk + kMinChunkBits)];
+      chunks_[chunk].store(storage, std::memory_order_release);
+    }
+    storage[offset] = std::string(s);
+    stored = &storage[offset];
+    // Publishes the string: a reader that learned `id` (through any
+    // synchronizing channel, incl. this release / Get's acquire) sees it.
+    size_.store(n + 1, std::memory_order_release);
+  }
+  // Shard lock is still held: concurrent interns of the same string
+  // serialize here, so each distinct string gets exactly one id.
+  shard.ids.emplace(std::string_view(*stored), id);
   return id;
 }
 

@@ -265,6 +265,58 @@ TEST(PlanStatsRefresh, ReplansWhenCardinalityDrifts) {
   EXPECT_TRUE(fourth.ValueOrDie().SetEquals(third.ValueOrDie()));
 }
 
+TEST(PlanStatsRefresh, ReplansWhenIdbRoundZeroSizeDrifts) {
+  // Regression test for the recursion-heavy staleness blind spot: the
+  // cache-hit check (PlanIsStale) only inspects EDB cardinalities, while
+  // IDB body atoms were pinned at the kIdbCardinality constant — so a rule
+  // like `p(x,y) :- p(x,z), link(z,y)` was never re-planned no matter how
+  // much the derived relation grew, as long as `link` stayed put. The fix
+  // records round-0 IDB sizes on the rule's first Eval and re-plans
+  // mid-fixpoint when they drift ≥4x.
+  FactDatabase db;
+  db.DeclareRelation("base", {"x", "y"}).ValueOrDie();
+  db.DeclareRelation("link", {"z", "y"}).ValueOrDie();
+  for (int i = 0; i < 3; ++i) {
+    db.AddFact("link", Tuple({Value::Int(i), Value::Int(i + 1)}));
+  }
+  for (int i = 0; i < 4; ++i) {
+    db.AddFact("base", Tuple({Value::Int(i), Value::Int(i % 4)}));
+  }
+  ASSERT_OK_AND_ASSIGN(Program p, Program::Parse(R"(
+    p(x, y) :- base(x, y).
+    p(x, y) :- p(x, z), link(z, y).
+  )"));
+
+  DatalogEngine engine;
+  auto first = engine.EvalAutoSignatures(p, db);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.ValueOrDie().Find("p").ValueOrDie()->size(), 10u);
+  // First Eval records round-0 IDB sizes; nothing to drift against yet.
+  EXPECT_EQ(engine.stats().plan_refreshes, 0u);
+
+  auto second = engine.EvalAutoSignatures(p, db);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.stats().plan_refreshes, 0u);
+
+  // Grow base 16x. `link` — the recursive rule's only EDB body atom — is
+  // unchanged, so the EDB check alone re-plans only the non-recursive
+  // rule; the recursive rule's refresh must come from the IDB round-0
+  // drift (p's round-0 size goes 4 -> 64).
+  for (int i = 4; i < 64; ++i) {
+    db.AddFact("base", Tuple({Value::Int(i), Value::Int(i % 4)}));
+  }
+  auto third = engine.EvalAutoSignatures(p, db);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(engine.stats().plan_refreshes, 2u);  // EDB refresh + IDB refresh
+  EXPECT_EQ(third.ValueOrDie().Find("p").ValueOrDie()->size(), 160u);
+
+  // Stable at the new sizes: recorded stats were updated by the refresh.
+  auto fourth = engine.EvalAutoSignatures(p, db);
+  ASSERT_TRUE(fourth.ok());
+  EXPECT_EQ(engine.stats().plan_refreshes, 2u);
+  EXPECT_TRUE(fourth.ValueOrDie().SetEquals(third.ValueOrDie()));
+}
+
 // ----------------------------------------------- facts round-trips (3 kinds)
 
 TEST(FactsRoundTrip, RelationalInstance) {

@@ -48,6 +48,33 @@ TEST(StringPool, RoundTripThroughValue) {
   EXPECT_EQ(v.Hash(), w.Hash());
 }
 
+TEST(StringPool, OverflowFailsFastInsteadOfAliasing) {
+  // Regression test for the id-truncation bug: past 2^32 entries the old
+  // `static_cast<uint32_t>(strings_.size())` wrapped around and handed a
+  // *reused* id to a brand-new string, silently aliasing distinct strings.
+  // A capped pool exercises the same boundary without 2^32 interns: the
+  // overflowing intern must fail, not corrupt the id space.
+  StringPool pool(/*max_strings=*/3);
+  uint32_t a = pool.Intern("overflow_a");
+  uint32_t b = pool.Intern("overflow_b");
+  uint32_t c = pool.Intern("overflow_c");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+
+  Result<uint32_t> overflow = pool.TryIntern("overflow_d");
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
+
+  // The pool is still intact: existing strings resolve, re-interning them
+  // is still a hit (no id was consumed or aliased by the failed intern).
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.Get(a), "overflow_a");
+  EXPECT_EQ(pool.Get(c), "overflow_c");
+  EXPECT_EQ(pool.Intern("overflow_b"), b);
+  EXPECT_FALSE(pool.TryIntern("overflow_e").ok());
+}
+
 TEST(StringPool, ReferencesAreStableAcrossGrowth) {
   const std::string& first = Value::String("runtime_test_stable").AsString();
   const char* data_before = first.data();
