@@ -12,6 +12,7 @@
 #include "migrate/facts.h"
 #include "migrate/migrator.h"
 #include "solver/fd.h"
+#include "util/failpoint.h"
 #include "synth/mdp.h"
 #include "synth/synthesizer.h"
 #include "workload/benchmarks.h"
@@ -179,6 +180,43 @@ BENCHMARK(BM_FixpointParallel)
     ->Args({200, 4})
     ->Args({400, 1})
     ->Args({400, 4});
+
+void BM_FailpointOverhead(benchmark::State& state) {
+  // Cost of the fault-injection sites on the hot fixpoint path (ISSUE 6):
+  // identical workload to BM_FixpointParallel/200/1, so comparing against
+  // that entry measures the failpoint tax directly. Arg 0 runs disarmed —
+  // the shipping configuration, where each site is one relaxed atomic load
+  // (claim: <2% vs BM_FixpointParallel/200/1, i.e. within run-to-run
+  // noise). Arg 1 arms every engine-path site with an unreachable hit
+  // target, forcing the armed slow path (counter increment, trigger check)
+  // on every execution without ever firing — an upper bound on what a
+  // fully armed but quiet production binary would pay.
+  const bool armed = state.range(0) != 0;
+  if (armed) {
+    failpoint::Spec never;
+    never.hit = uint64_t{1} << 62;
+    for (const char* site :
+         {"engine.compile", "engine.plan.entry", "engine.worker.chunk",
+          "engine.merge.alloc", "engine.fixpoint.round", "engine.index.refresh",
+          "relation.insert.alloc", "string_pool.intern", "thread_pool.worker"}) {
+      failpoint::Arm(site, never);
+    }
+  }
+  FactDatabase db = StringEdges(200);
+  Program p = Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").ValueOrDie();
+  DatalogEngine::Options opts;
+  opts.num_threads = 1;
+  DatalogEngine engine(opts);
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    benchmark::DoNotOptimize(out);
+  }
+  if (armed) failpoint::DisarmAll();
+}
+BENCHMARK(BM_FailpointOverhead)->Arg(0)->Arg(1);
 
 void BM_SatPigeonHole(benchmark::State& state) {
   // php(n+1, n): UNSAT, exercises clause learning.

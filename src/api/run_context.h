@@ -19,6 +19,7 @@
 
 #include "util/cancel.h"
 #include "util/deadline.h"
+#include "util/mem_budget.h"
 #include "util/status.h"
 
 namespace dynamite {
@@ -74,6 +75,10 @@ struct RunContext {
   CancelToken cancel;
   /// Progress callback (none by default).
   ProgressObserver observer;
+  /// Run-wide byte budget (none by default). Not owned: the caller — for
+  /// Session runs, the Session entry point — keeps it alive for the run.
+  /// Copies share it, like the cancel state.
+  MemoryBudget* memory = nullptr;
 
   RunContext() = default;
   RunContext(Deadline d, CancelToken c, ProgressObserver o = nullptr)
@@ -85,8 +90,9 @@ struct RunContext {
   }
 
   /// The single interruption poll every budgeted loop uses: kCancelled wins
-  /// over kTimeout (an explicit user action beats a clock), OK otherwise.
-  /// `what` names the interrupted work for the error message.
+  /// over kTimeout (an explicit user action beats a clock), which wins over
+  /// kResourceExhausted; OK otherwise. `what` names the interrupted work for
+  /// the error message.
   Status Check(const char* what) const {
     if (cancel.cancelled()) {
       return Status::Cancelled(std::string("cancelled during ") + what);
@@ -94,12 +100,18 @@ struct RunContext {
     if (deadline.Expired()) {
       return Status::Timeout(std::string("deadline exceeded during ") + what);
     }
+    if (memory != nullptr && memory->exhausted()) {
+      return memory->ToStatus(what);
+    }
     return Status::OK();
   }
 
-  /// True when either interruption condition holds (cheap form of Check
-  /// for inner loops that construct the Status elsewhere).
-  bool Interrupted() const { return cancel.cancelled() || deadline.Expired(); }
+  /// True when any interruption condition holds (cheap form of Check for
+  /// inner loops that construct the Status elsewhere).
+  bool Interrupted() const {
+    return cancel.cancelled() || deadline.Expired() ||
+           (memory != nullptr && memory->exhausted());
+  }
 
   /// Forwards an event to the observer, if any.
   void Report(const ProgressEvent& event) const {

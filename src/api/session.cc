@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "instance/record_forest.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 
 namespace dynamite {
+
+namespace {
+
+/// Attaches the session's byte budget to a bounded context. The budget
+/// object must be a per-call local (it outlives the stages, not the call);
+/// a budget the caller already put in ctx.memory wins — one budget per run.
+RunContext WithBudget(const RunContext& ctx, MemoryBudget* local_budget,
+                      size_t max_memory_bytes) {
+  if (ctx.memory != nullptr || max_memory_bytes == 0) return ctx;
+  RunContext out = ctx;
+  out.memory = local_budget;
+  return out;
+}
+
+}  // namespace
 
 Session::Session(Schema source, Schema target, SessionOptions options)
     : source_(std::move(source)), target_(std::move(target)), options_(options) {
@@ -61,11 +78,18 @@ Status Session::CheckAgainstSchema(const RecordForest& forest, const Schema& sch
 
 Result<SynthesisResult> Session::Synthesize(const Example& example,
                                             const RunContext& ctx) const {
-  DYNAMITE_RETURN_NOT_OK(
-      CheckAgainstSchema(example.input, source_, "example input vs source schema"));
-  DYNAMITE_RETURN_NOT_OK(
-      CheckAgainstSchema(example.output, target_, "example output vs target schema"));
-  return synthesizer_->Synthesize(example, Bounded(ctx));
+  MemoryBudget local_budget(options_.max_memory_bytes);
+  RunContext bounded =
+      WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
+  MemoryBudgetScope mem_scope(bounded.memory);
+  return failpoint::GuardExceptions("synthesis", [&]() -> Result<SynthesisResult> {
+    DYNAMITE_FAILPOINT("session.synthesize");
+    DYNAMITE_RETURN_NOT_OK(
+        CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+    DYNAMITE_RETURN_NOT_OK(
+        CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+    return synthesizer_->Synthesize(example, bounded);
+  });
 }
 
 Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
@@ -82,76 +106,94 @@ Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
   synth.timeout_seconds = 0;
   if (options_.num_threads != 0) synth.eval_num_threads = options_.num_threads;
   InteractiveSynthesizer interactive(source_, target_, synth, options_.interactive);
-  RunContext bounded = Bounded(ctx);
-  DYNAMITE_ASSIGN_OR_RETURN(
-      InteractiveResult result,
-      interactive.Run(example, validation_pool, oracle, bounded, migrator_.get()));
-  if (options_.fail_on_ambiguity && !result.unique && !result.cancelled) {
-    return Status::Ambiguous(
-        "validation pool cannot distinguish the remaining candidate programs");
-  }
-  return result;
+  MemoryBudget local_budget(options_.max_memory_bytes);
+  RunContext bounded =
+      WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
+  MemoryBudgetScope mem_scope(bounded.memory);
+  return failpoint::GuardExceptions(
+      "interactive synthesis", [&]() -> Result<InteractiveResult> {
+        DYNAMITE_ASSIGN_OR_RETURN(
+            InteractiveResult result,
+            interactive.Run(example, validation_pool, oracle, bounded, migrator_.get()));
+        if (options_.fail_on_ambiguity && !result.unique && !result.cancelled) {
+          return Status::Ambiguous(
+              "validation pool cannot distinguish the remaining candidate programs");
+        }
+        return result;
+      });
 }
 
 Result<RecordForest> Session::Migrate(const Program& program, const RecordForest& source,
                                       MigrationStats* stats, const RunContext& ctx) const {
-  // No pre-validation on the hot path: ToFacts validates the forest anyway
-  // (a second walk here cost ~20% on migration microbenchmarks). Instead,
-  // classify failures after the fact — if the forest is what's wrong, the
-  // caller gets the typed kSchemaMismatch; otherwise the original error.
-  auto result = migrator_->Migrate(program, source, Bounded(ctx), stats);
-  if (!result.ok() && (result.status().code() == StatusCode::kInvalidArgument ||
-                       result.status().code() == StatusCode::kTypeError)) {
-    DYNAMITE_RETURN_NOT_OK(
-        CheckAgainstSchema(source, source_, "source instance vs source schema"));
-  }
-  return result;
+  MemoryBudget local_budget(options_.max_memory_bytes);
+  RunContext bounded =
+      WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
+  MemoryBudgetScope mem_scope(bounded.memory);
+  return failpoint::GuardExceptions("migration", [&]() -> Result<RecordForest> {
+    DYNAMITE_FAILPOINT("session.migrate");
+    // No pre-validation on the hot path: ToFacts validates the forest anyway
+    // (a second walk here cost ~20% on migration microbenchmarks). Instead,
+    // classify failures after the fact — if the forest is what's wrong, the
+    // caller gets the typed kSchemaMismatch; otherwise the original error.
+    auto result = migrator_->Migrate(program, source, bounded, stats);
+    if (!result.ok() && (result.status().code() == StatusCode::kInvalidArgument ||
+                         result.status().code() == StatusCode::kTypeError)) {
+      DYNAMITE_RETURN_NOT_OK(
+          CheckAgainstSchema(source, source_, "source instance vs source schema"));
+    }
+    return result;
+  });
 }
 
 Result<PipelineResult> Session::SynthesizeAndMigrate(const Example& example,
                                                      const RecordForest& source_instance,
                                                      const RunContext& ctx) const {
-  // One bounded context covers both stages: a single budget for the whole
-  // pipeline rather than per-stage wall clocks. The source instance is not
-  // pre-validated (ToFacts validates it inside the migrate stage; see
-  // Migrate for why) — failures are classified post hoc.
-  RunContext bounded = Bounded(ctx);
-  PipelineResult out;
-  DYNAMITE_RETURN_NOT_OK(
-      CheckAgainstSchema(example.input, source_, "example input vs source schema"));
-  DYNAMITE_RETURN_NOT_OK(
-      CheckAgainstSchema(example.output, target_, "example output vs target schema"));
-  DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult synthesis,
-                            synthesizer_->Synthesize(example, bounded));
-  out.synthesis = std::move(synthesis);
+  // One bounded context covers both stages: a single budget (wall-clock AND
+  // bytes) for the whole pipeline rather than per-stage budgets. The source
+  // instance is not pre-validated (ToFacts validates it inside the migrate
+  // stage; see Migrate for why) — failures are classified post hoc.
+  MemoryBudget local_budget(options_.max_memory_bytes);
+  RunContext bounded =
+      WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
+  MemoryBudgetScope mem_scope(bounded.memory);
+  return failpoint::GuardExceptions("pipeline", [&]() -> Result<PipelineResult> {
+    PipelineResult out;
+    DYNAMITE_RETURN_NOT_OK(
+        CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+    DYNAMITE_RETURN_NOT_OK(
+        CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+    DYNAMITE_ASSIGN_OR_RETURN(SynthesisResult synthesis,
+                              synthesizer_->Synthesize(example, bounded));
+    out.synthesis = std::move(synthesis);
 
-  // Migration progress events carry the synthesis totals forward so the
-  // run's cumulative counters (iterations, coverage) stay monotone across
-  // the phase boundary, as ProgressEvent documents.
-  RunContext migrate_ctx = bounded;
-  if (bounded.observer) {
-    size_t iterations = out.synthesis.iterations;
-    double space = out.synthesis.search_space;
-    ProgressObserver inner = bounded.observer;
-    migrate_ctx.observer = [iterations, space, inner](const ProgressEvent& event) {
-      ProgressEvent carried = event;
-      carried.iterations = iterations;
-      carried.search_space = space;
-      carried.coverage =
-          space > 0 ? std::min(1.0, static_cast<double>(iterations) / space) : 0;
-      inner(carried);
-    };
-  }
-  auto migrated =
-      migrator_->Migrate(out.synthesis.program, source_instance, migrate_ctx, &out.migration);
-  if (!migrated.ok() && (migrated.status().code() == StatusCode::kInvalidArgument ||
-                         migrated.status().code() == StatusCode::kTypeError)) {
-    DYNAMITE_RETURN_NOT_OK(CheckAgainstSchema(source_instance, source_,
-                                              "source instance vs source schema"));
-  }
-  if (!migrated.ok()) return migrated.status();
-  out.migrated = std::move(migrated).ValueOrDie();
-  return out;
+    // Migration progress events carry the synthesis totals forward so the
+    // run's cumulative counters (iterations, coverage) stay monotone across
+    // the phase boundary, as ProgressEvent documents.
+    RunContext migrate_ctx = bounded;
+    if (bounded.observer) {
+      size_t iterations = out.synthesis.iterations;
+      double space = out.synthesis.search_space;
+      ProgressObserver inner = bounded.observer;
+      migrate_ctx.observer = [iterations, space, inner](const ProgressEvent& event) {
+        ProgressEvent carried = event;
+        carried.iterations = iterations;
+        carried.search_space = space;
+        carried.coverage =
+            space > 0 ? std::min(1.0, static_cast<double>(iterations) / space) : 0;
+        inner(carried);
+      };
+    }
+    auto migrated = migrator_->Migrate(out.synthesis.program, source_instance,
+                                       migrate_ctx, &out.migration);
+    if (!migrated.ok() && (migrated.status().code() == StatusCode::kInvalidArgument ||
+                           migrated.status().code() == StatusCode::kTypeError)) {
+      DYNAMITE_RETURN_NOT_OK(CheckAgainstSchema(source_instance, source_,
+                                                "source instance vs source schema"));
+    }
+    if (!migrated.ok()) return migrated.status();
+    out.migrated = std::move(migrated).ValueOrDie();
+    return out;
+  });
 }
 
 }  // namespace dynamite

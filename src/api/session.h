@@ -18,12 +18,18 @@
 // and ProgressObserver; errors come back as typed ErrorCodes (see
 // src/api/README.md for the full taxonomy):
 //
-//   kSchemaMismatch    schema invalid / instance inconsistent with schema
-//   kSynthesisFailure  no program consistent with the example
-//   kTimeout           the RunContext (or default budget) deadline passed
-//   kCancelled         the CancelToken was triggered
-//   kEvalBudget        an iteration/tuple budget exhausted
-//   kAmbiguous         several programs remain and the options demand one
+//   kSchemaMismatch     schema invalid / instance inconsistent with schema
+//   kSynthesisFailure   no program consistent with the example
+//   kTimeout            the RunContext (or default budget) deadline passed
+//   kCancelled          the CancelToken was triggered
+//   kEvalBudget         an iteration/tuple budget exhausted
+//   kResourceExhausted  the memory budget exhausted, or allocation failed
+//   kAmbiguous          several programs remain and the options demand one
+//
+// Every Session call is a crash-free boundary: allocation failure inside the
+// pipeline (real bad_alloc or a fault injected via DYNAMITE_FAILPOINTS)
+// surfaces as a typed Status, never as a crash, and leaves the Session
+// reusable.
 //
 // The legacy Synthesizer / InteractiveSynthesizer / Migrator classes are
 // thin deprecated shims kept for source compatibility; new code should use
@@ -75,6 +81,16 @@ struct SessionOptions {
   /// of silently accepting the first). The cheap Synthesize call is
   /// unaffected.
   bool fail_on_ambiguity = false;
+  /// Per-call byte budget covering every pipeline stage (fact conversion,
+  /// evaluation — relation growth, join indexes, interned strings, parallel
+  /// emit buffers — and forest reconstruction); exceeding it fails the call
+  /// with kResourceExhausted instead of OOM-killing the process. 0 (the
+  /// default) disables the check. A budget already carried by the call's
+  /// RunContext (ctx.memory) wins — one budget per run, never one per
+  /// stage. Independent of the engine's tuple-count cap (kEvalBudget) and
+  /// the wall-clock budget (kTimeout); see src/api/README.md for the
+  /// budget-to-error matrix.
+  size_t max_memory_bytes = 0;
 };
 
 /// Result of the one-shot SynthesizeAndMigrate pipeline.

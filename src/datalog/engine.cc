@@ -11,6 +11,8 @@
 #include <unordered_map>
 
 #include "datalog/index.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/thread_pool.h"
 
 namespace dynamite {
@@ -349,15 +351,22 @@ class Evaluator {
   /// `pool_provider` (may be empty = sequential) is invoked at most once,
   /// at the first plan large enough to parallelize — engines whose
   /// evaluations never cross the threshold never spawn threads.
+  /// `budget` (may be null) is the run's byte budget: polled at the same
+  /// strides as cancel/deadline and installed as each worker's ambient
+  /// charge target. `parallel_fallbacks` counts plan evaluations retried
+  /// sequentially after a pool-path worker failure.
   Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes,
-            const RunContext* ctx, std::function<ThreadPool*()> pool_provider)
+            const RunContext* ctx, std::function<ThreadPool*()> pool_provider,
+            MemoryBudget* budget, size_t* parallel_fallbacks)
       : options_(options),
         edb_indexes_(edb_indexes),
         deadline_(Deadline::Earliest(
             Deadline::AfterOrInfinite(options.timeout_seconds),
             ctx != nullptr ? ctx->deadline : Deadline::Infinite())),
         cancel_(ctx != nullptr ? ctx->cancel : CancelToken()),
-        pool_provider_(std::move(pool_provider)) {}
+        pool_provider_(std::move(pool_provider)),
+        budget_(budget),
+        parallel_fallbacks_(parallel_fallbacks) {}
 
   Status Run(std::vector<std::shared_ptr<CompiledRule>>& rules, const FactDatabase& edb,
              const std::map<std::string, std::vector<std::string>>& idb_sigs,
@@ -425,6 +434,7 @@ class Evaluator {
       if (++iterations > options_.max_iterations) {
         return Status::EvalBudget("fixpoint iteration limit exceeded");
       }
+      DYNAMITE_FAILPOINT("engine.fixpoint.round");
       for (const auto& rule : rules) {
         if (!rule->has_idb_body) continue;
         for (size_t k = 0; k < rule->delta_plans.size(); ++k) {
@@ -481,6 +491,10 @@ class Evaluator {
       *out = Status::Timeout("evaluation timeout");
       return true;
     }
+    if (budget_ != nullptr && budget_->exhausted()) {
+      *out = budget_->ToStatus("evaluation");
+      return true;
+    }
     return false;
   }
 
@@ -491,12 +505,13 @@ class Evaluator {
   struct SharedInterrupt {
     const CancelToken* cancel = nullptr;
     const Deadline* deadline = nullptr;
+    const MemoryBudget* memory = nullptr;  // may be null
     std::atomic<bool> stop{false};
     std::mutex mu;
     Status status;  // first interruption wins; guarded by mu
 
-    /// Polled every 1024 per-worker ticks. Cancel outranks timeout, as in
-    /// the sequential Interrupted().
+    /// Polled every 1024 per-worker ticks. Cancel outranks timeout outranks
+    /// memory, as in the sequential Interrupted().
     bool ShouldStop() {
       if (stop.load(std::memory_order_relaxed)) return true;
       if (cancel->cancelled()) {
@@ -505,6 +520,10 @@ class Evaluator {
       }
       if (deadline->Expired()) {
         Report(Status::Timeout("evaluation timeout"));
+        return true;
+      }
+      if (memory != nullptr && memory->exhausted()) {
+        Report(memory->ToStatus("evaluation"));
         return true;
       }
       return false;
@@ -558,6 +577,7 @@ class Evaluator {
         s = (s + 1) & mask;
       }
       dedup_slots[s] = static_cast<uint32_t>(num_rows);
+      MemoryBudget::ChargeCurrent(arity * sizeof(Value) + sizeof(size_t));
       values.insert(values.end(), row, row + arity);
       hashes.push_back(hash);
       ++num_rows;
@@ -565,6 +585,8 @@ class Evaluator {
     }
 
     void Regrow(size_t new_slot_count) {
+      MemoryBudget::ChargeCurrent((new_slot_count - dedup_slots.size()) *
+                                  sizeof(uint32_t));
       dedup_slots.assign(new_slot_count, kEmptySlot);
       size_t mask = new_slot_count - 1;
       for (size_t r = 0; r < num_rows; ++r) {
@@ -757,6 +779,7 @@ class Evaluator {
   Status EvalPlan(const CompiledRule& rule, const JoinPlan& plan,
                   const std::map<std::string, std::pair<size_t, size_t>>& delta,
                   const FactDatabase& edb, FactDatabase* out) {
+    DYNAMITE_FAILPOINT("engine.plan.entry");
     // Resolve views and refresh indexes up front: no index is ever built
     // inside the match loop, and IDB indexes only extend over the suffix
     // added since the previous round.
@@ -795,8 +818,14 @@ class Evaluator {
         AcquirePool() != nullptr) {
       return EvalPlanParallel(rule, plan, views, head_rels);
     }
+    return EvalPlanSequential(rule, plan, views, head_rels);
+  }
 
-    // Sequential path (num_threads=1, or a range too small to split).
+  /// Sequential path: num_threads=1, a range too small to split, or the
+  /// retry after a parallel-path worker failure.
+  Status EvalPlanSequential(const CompiledRule& rule, const JoinPlan& plan,
+                            const std::vector<AtomView>& views,
+                            const std::vector<Relation*>& head_rels) {
     std::vector<Value> env(static_cast<size_t>(rule.num_slots));
     // Reusable probe-key buffers, one per plan depth (the matcher recurses,
     // so a single shared buffer would be clobbered by deeper atoms): the
@@ -840,6 +869,7 @@ class Evaluator {
     SharedInterrupt shared;
     shared.cancel = &cancel_;
     shared.deadline = &deadline_;
+    shared.memory = budget_;
     std::atomic<size_t> next_chunk{0};
 
     // Per-chunk buffered-row bound; see BufferSink. Saturating arithmetic:
@@ -851,12 +881,20 @@ class Evaluator {
       buffered_limit += head_rows_at_entry;
     }
 
-    pool_->Run([&](size_t worker) {
+    const Status pool_status = pool_->Run([&](size_t worker) {
+      // Workers charge the run's budget too; fn(0) runs on the calling
+      // thread, where the scope nests over (and matches) the Eval-level one.
+      MemoryBudgetScope mem_scope(budget_);
       WorkerScratch& scratch = worker_scratch_[worker];
       scratch.Prepare(rule, plan);
       for (;;) {
         size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
         if (c >= num_chunks || shared.stop.load(std::memory_order_relaxed)) break;
+        Status injected = DYNAMITE_FAILPOINT_STATUS("engine.worker.chunk");
+        if (!injected.ok()) {
+          shared.Report(std::move(injected));
+          break;
+        }
         size_t clo = lo0 + range * c / num_chunks;
         size_t chi = lo0 + range * (c + 1) / num_chunks;
         BufferSink sink{&rule, &buffers[c], &shared, &scratch, buffered_limit};
@@ -866,7 +904,18 @@ class Evaluator {
 
     Status interrupted = shared.TakeStatus();
     if (!interrupted.ok()) return interrupted;
+    if (!pool_status.ok()) {
+      // Graceful degradation: a worker threw (real bad_alloc or injected
+      // fault). Nothing has reached the head relations — the buffers are
+      // the only state, and they may be partial. Discard them and retry
+      // this plan once on the exact sequential path; a failure there is
+      // the real answer and surfaces normally.
+      ++*parallel_fallbacks_;
+      buffers.clear();
+      return EvalPlanSequential(rule, plan, views, head_rels);
+    }
 
+    DYNAMITE_FAILPOINT("engine.merge.alloc");
     // Single-threaded merge, ascending chunk order (= sequential emission
     // order). Rows were hashed and locally deduped by the workers; the
     // merge only probes the head relations' row tables and appends. It
@@ -910,6 +959,8 @@ class Evaluator {
   ThreadPool* pool_ = nullptr;  // engine-owned, persistent; resolved lazily
   bool pool_resolved_ = false;
   std::vector<WorkerScratch> worker_scratch_;
+  MemoryBudget* budget_ = nullptr;   // run-wide byte budget (may be null)
+  size_t* parallel_fallbacks_ = nullptr;  // engine counter (Caches-owned)
   size_t derived_ = 0;
   size_t ticks_ = 0;
 };
@@ -931,6 +982,9 @@ struct DatalogEngine::Caches {
   /// Worker pool for Options::num_threads > 1; created lazily on the first
   /// parallel Eval and reused for the engine's lifetime.
   std::unique_ptr<ThreadPool> pool;
+  /// Plan evaluations retried sequentially after a pool-path worker failure
+  /// (exposed via DatalogEngine::stats()).
+  size_t parallel_fallbacks = 0;
 
   static constexpr size_t kMaxRules = 8192;
 };
@@ -938,6 +992,7 @@ struct DatalogEngine::Caches {
 DatalogEngine::Stats DatalogEngine::stats() const {
   Stats s;
   s.plan_refreshes = caches_->plan_refreshes;
+  s.parallel_fallbacks = caches_->parallel_fallbacks;
   return s;
 }
 
@@ -970,6 +1025,31 @@ Result<FactDatabase> DatalogEngine::Eval(
     const Program& program, const FactDatabase& edb,
     const std::map<std::string, std::vector<std::string>>& idb_signatures,
     const RunContext* ctx) const {
+  // One byte budget per run: the RunContext's if the caller installed one
+  // (a Session run sharing the budget across stages), else a per-Eval one
+  // from Options::max_memory_bytes.
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory : nullptr;
+  std::unique_ptr<MemoryBudget> local_budget;
+  if (budget == nullptr && options_.max_memory_bytes > 0) {
+    local_budget = std::make_unique<MemoryBudget>(options_.max_memory_bytes);
+    budget = local_budget.get();
+  }
+  // Installed for the calling thread (compile, index refresh, sequential
+  // match, merge); EvalPlanParallel re-installs it on each worker.
+  MemoryBudgetScope mem_scope(budget);
+  // Crash-free boundary: a bad_alloc (real or injected) or an InjectedError
+  // from a throwing failpoint site anywhere below becomes a typed Status.
+  return failpoint::GuardExceptions(
+      "datalog evaluation", [&]() -> Result<FactDatabase> {
+        return EvalImpl(program, edb, idb_signatures, ctx, budget);
+      });
+}
+
+Result<FactDatabase> DatalogEngine::EvalImpl(
+    const Program& program, const FactDatabase& edb,
+    const std::map<std::string, std::vector<std::string>>& idb_signatures,
+    const RunContext* ctx, MemoryBudget* budget) const {
+  DYNAMITE_FAILPOINT("engine.compile");
   std::set<std::string> idb;
   std::string idb_key;
   for (const auto& [name, attrs] : idb_signatures) {
@@ -1078,7 +1158,9 @@ Result<FactDatabase> DatalogEngine::Eval(
       return caches_->pool.get();
     };
   }
-  Evaluator evaluator(options_, &caches_->edb_indexes, ctx, std::move(pool_provider));
+  Evaluator evaluator(options_, &caches_->edb_indexes, ctx,
+                      std::move(pool_provider), budget,
+                      &caches_->parallel_fallbacks);
   DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out, refresh_idb));
   return out;
 }

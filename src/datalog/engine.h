@@ -86,6 +86,13 @@ class DatalogEngine {
     /// persistent pool of num_threads workers (the calling thread
     /// participates). Results are bit-identical for every value.
     size_t num_threads = 0;
+    /// Per-Eval byte budget covering relation growth, join-index posting
+    /// lists, interned strings, and the parallel emit buffers; exceeding it
+    /// aborts with kResourceExhausted instead of OOM-killing the process.
+    /// 0 disables the check. When the caller's RunContext already carries a
+    /// MemoryBudget (a Session run), that budget is charged instead and
+    /// this knob is ignored — one budget per run, not per stage.
+    size_t max_memory_bytes = 0;
   };
 
   /// Counters accumulated across Eval calls on this engine. Deterministic:
@@ -97,6 +104,11 @@ class DatalogEngine {
     /// round-0 size (checked after pass 0 of each fixpoint, against the
     /// sizes recorded on the rule's first Eval).
     size_t plan_refreshes = 0;
+    /// Plan evaluations that failed on the parallel path (a worker threw —
+    /// real bad_alloc or injected fault) and were retried to completion on
+    /// the exact sequential path. Graceful degradation, not an error: the
+    /// Eval's results are unaffected.
+    size_t parallel_fallbacks = 0;
   };
 
   DatalogEngine();
@@ -128,6 +140,14 @@ class DatalogEngine {
   Stats stats() const;
 
  private:
+  /// Eval minus the crash-free boundary: Eval resolves the run's
+  /// MemoryBudget, installs it, and wraps this in an exception guard that
+  /// maps bad_alloc / injected faults to typed Statuses.
+  Result<FactDatabase> EvalImpl(
+      const Program& program, const FactDatabase& edb,
+      const std::map<std::string, std::vector<std::string>>& idb_signatures,
+      const RunContext* ctx, MemoryBudget* budget) const;
+
   Options options_;
   /// Persistent EDB join indexes + compiled-rule cache; logically part of
   /// evaluation state, hence mutable behind const Eval.

@@ -39,6 +39,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "value/relation.h"
 
 namespace dynamite {
@@ -54,6 +56,13 @@ class JoinIndex {
   /// `rel` must be the same logical relation on every call.
   void Refresh(const Relation& rel) {
     size_t n = rel.size();
+    if (n > indexed_upto_) {
+      // Posting-list growth: one uint32_t per newly indexed row (group
+      // structs are charged as they appear below). Refresh has no Status
+      // channel; exhaustion is observed at the engine's next poll.
+      MemoryBudget::ChargeCurrent((n - indexed_upto_) * sizeof(uint32_t));
+      DYNAMITE_FAILPOINT_THROW("engine.index.refresh");
+    }
     for (size_t i = indexed_upto_; i < n; ++i) {
       if (groups_.size() * 4 + 4 > group_slots_.size() * 3) {
         Regrow(group_slots_.empty() ? 16 : group_slots_.size() * 2);
@@ -68,6 +77,7 @@ class JoinIndex {
       }
       if (group_slots_[s] == kEmptySlot) {
         group_slots_[s] = static_cast<uint32_t>(groups_.size());
+        MemoryBudget::ChargeCurrent(sizeof(Group));
         groups_.push_back(Group{h, static_cast<uint32_t>(i), {}});
       }
       groups_[group_slots_[s]].rows.push_back(static_cast<uint32_t>(i));

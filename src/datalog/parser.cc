@@ -87,7 +87,10 @@ class DatalogParser {
       }
       if (Eof()) return Error("unterminated string literal");
       ++pos_;
-      return Term::Const(Value::String(std::move(s)));
+      // TryString: program text is external input; pool overflow surfaces
+      // as a parse-level error instead of aborting.
+      DYNAMITE_ASSIGN_OR_RETURN(Value sv, Value::TryString(s));
+      return Term::Const(sv);
     }
     if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
       size_t start = pos_;

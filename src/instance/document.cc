@@ -54,7 +54,9 @@ Result<Value> JsonToValue(const Json& j, PrimitiveType type, const std::string& 
       if (j.is_bool()) return Value::Bool(j.AsBool());
       break;
     case PrimitiveType::kString:
-      if (j.is_string()) return Value::String(j.AsString());
+      // TryString: documents are external input; pool overflow must come
+      // back as a typed error, not abort the process.
+      if (j.is_string()) return Value::TryString(j.AsString());
       break;
   }
   return Status::TypeError("field " + attr + " has JSON value " + j.Dump() +

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/failpoint.h"
+
 namespace dynamite {
 
 std::string ParentColumn(const std::string& record) { return "_parent_" + record; }
@@ -76,6 +78,7 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
   }
   size_t ticks = 0;
   for (const RecordNode& root : forest.roots) {
+    DYNAMITE_FAILPOINT("facts.emit");
     if (ctx != nullptr && (++ticks & 0xff) == 0) {
       DYNAMITE_RETURN_NOT_OK(ctx->Check("facts conversion"));
     }
@@ -169,6 +172,7 @@ Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
                                      std::to_string(expected_arity));
     }
     for (size_t r = 0; r < rel->size(); ++r) {
+      DYNAMITE_FAILPOINT("facts.build");
       if (ctx != nullptr && (++ticks & 0xff) == 0) {
         DYNAMITE_RETURN_NOT_OK(ctx->Check("forest reconstruction"));
       }

@@ -1,5 +1,6 @@
 #include "migrate/migrator.h"
 
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace dynamite {
@@ -12,6 +13,22 @@ Result<RecordForest> Migrator::Migrate(const Program& program, const RecordFores
 Result<RecordForest> Migrator::Migrate(const Program& program, const RecordForest& source,
                                        const RunContext& ctx,
                                        MigrationStats* stats) const {
+  // Crash-free boundary for the facts/build stages (the engine stage has
+  // its own inside Eval): throwing failpoint sites and real allocation
+  // failures surface as typed Statuses. The run's MemoryBudget, if any,
+  // arrives installed by the caller (Session) or rides in ctx.memory via
+  // RunContext::Check.
+  MemoryBudgetScope mem_scope(ctx.memory);
+  return failpoint::GuardExceptions(
+      "migration", [&]() -> Result<RecordForest> {
+        return MigrateImpl(program, source, ctx, stats);
+      });
+}
+
+Result<RecordForest> Migrator::MigrateImpl(const Program& program,
+                                           const RecordForest& source,
+                                           const RunContext& ctx,
+                                           MigrationStats* stats) const {
   MigrationStats local;
   local.source_records = source.TotalRecords();
 
@@ -25,10 +42,16 @@ Result<RecordForest> Migrator::Migrate(const Program& program, const RecordFores
     ctx.Report(event);
   };
 
+  // The per-row interruption polls inside the stages are strided (every 256
+  // ticks), so a small run can trip its memory budget between polls and
+  // still finish the stage. The explicit Check at each stage boundary makes
+  // the budget's promise deterministic: if a stage overcharges, the run
+  // fails by the end of that stage at the latest.
   Timer timer;
   uint64_t next_id = 1;
   DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb,
                             ToFacts(source, source_schema_, &next_id, &ctx));
+  DYNAMITE_RETURN_NOT_OK(ctx.Check("facts conversion"));
   local.source_facts = edb.TotalFacts();
   local.to_facts_seconds = timer.ElapsedSeconds();
   report("facts");
@@ -36,12 +59,14 @@ Result<RecordForest> Migrator::Migrate(const Program& program, const RecordFores
   timer.Reset();
   DYNAMITE_ASSIGN_OR_RETURN(
       FactDatabase idb, engine_.Eval(program, edb, FactSignatures(target_schema_), &ctx));
+  DYNAMITE_RETURN_NOT_OK(ctx.Check("fixpoint evaluation"));
   local.target_facts = idb.TotalFacts();
   local.eval_seconds = timer.ElapsedSeconds();
   report("eval");
 
   timer.Reset();
   DYNAMITE_ASSIGN_OR_RETURN(RecordForest target, BuildForest(idb, target_schema_, &ctx));
+  DYNAMITE_RETURN_NOT_OK(ctx.Check("forest reconstruction"));
   local.target_records = target.TotalRecords();
   local.build_seconds = timer.ElapsedSeconds();
   report("build");

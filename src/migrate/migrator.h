@@ -60,6 +60,12 @@ class Migrator {
   DatalogEngine::Stats engine_stats() const { return engine_.stats(); }
 
  private:
+  /// Migrate minus the crash-free boundary: the public overload installs the
+  /// run's MemoryBudget and wraps this in an exception guard mapping
+  /// bad_alloc / injected faults to typed Statuses.
+  Result<RecordForest> MigrateImpl(const Program& program, const RecordForest& source,
+                                   const RunContext& ctx, MigrationStats* stats) const;
+
   Schema source_schema_;
   Schema target_schema_;
   DatalogEngine engine_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace dynamite {
 namespace sat {
 
@@ -81,13 +83,17 @@ Var SatSolver::HeapPopMax() {
 
 bool SatSolver::AddClause(std::vector<Lit> lits) {
   if (unsat_) return false;
-  assert(DecisionLevel() == 0);
+  // Adding clauses mid-search would corrupt the trail invariants in ways
+  // that surface as wrong models, not crashes — enforce in release too.
+  DYNAMITE_CHECK(DecisionLevel() == 0,
+                 "AddClause outside the root decision level");
   // Normalize: sort, dedupe, drop false lits, detect tautology/satisfied.
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> out;
   Lit prev{-2};
   for (Lit l : lits) {
-    assert(VarOf(l) >= 0 && VarOf(l) < NumVars());
+    DYNAMITE_CHECK(VarOf(l) >= 0 && VarOf(l) < NumVars(),
+                   "clause literal over an unallocated variable");
     if (l == prev) continue;
     if (l == Negate(prev)) return true;  // tautology: x ∨ ¬x
     LBool v = ValueLit(l);

@@ -10,6 +10,8 @@
 #include "synth/analyze.h"
 #include "synth/encode.h"
 #include "synth/sketch_gen.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/timer.h"
 
 namespace dynamite {
@@ -99,6 +101,7 @@ class RuleSynthesizer {
       // One shared poll per candidate: the same Deadline/CancelToken every
       // other stage uses, so budgets cannot drift between loops.
       DYNAMITE_RETURN_NOT_OK(ctx.Check("candidate search"));
+      DYNAMITE_FAILPOINT("synth.candidate");
       if (iterations_ >= options_.max_iterations) {
         return Status::EvalBudget("iteration budget exhausted");
       }
@@ -207,6 +210,7 @@ Result<Setup> Prepare(const Schema& source, const Schema& target, const Example&
                       const SynthesisOptions& options, const RunContext& ctx,
                       ProgressTracker* progress) {
   Setup setup;
+  DYNAMITE_FAILPOINT("synth.prepare");
   progress->Report(Phase::kInferMapping, "", 0);
   DYNAMITE_RETURN_NOT_OK(ctx.Check("attribute-mapping inference"));
   DYNAMITE_ASSIGN_OR_RETURN(AttributeMapping psi, InferAttrMapping(source, target, example));
@@ -238,6 +242,17 @@ Result<SynthesisResult> Synthesizer::Synthesize(const Example& example) const {
 
 Result<SynthesisResult> Synthesizer::Synthesize(const Example& example,
                                                 const RunContext& caller_ctx) const {
+  // Crash-free boundary: the SAT search and per-candidate evaluations below
+  // may throw (real bad_alloc under memory pressure, or an injected fault);
+  // both surface here as typed Statuses, never as a crash.
+  MemoryBudgetScope mem_scope(caller_ctx.memory);
+  return failpoint::GuardExceptions("synthesis", [&]() -> Result<SynthesisResult> {
+    return SynthesizeImpl(example, caller_ctx);
+  });
+}
+
+Result<SynthesisResult> Synthesizer::SynthesizeImpl(const Example& example,
+                                                    const RunContext& caller_ctx) const {
   // The legacy `timeout_seconds` knob composes with the caller's budget:
   // this call is bounded by whichever is tighter (Session neutralizes the
   // knob so its RunContext is the single budget; legacy context-free
@@ -287,6 +302,14 @@ Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& exam
 Result<std::vector<Program>> Synthesizer::SynthesizeDistinct(const Example& example,
                                                              size_t limit,
                                                              const RunContext& caller_ctx) const {
+  MemoryBudgetScope mem_scope(caller_ctx.memory);
+  return failpoint::GuardExceptions("synthesis", [&]() -> Result<std::vector<Program>> {
+    return SynthesizeDistinctImpl(example, limit, caller_ctx);
+  });
+}
+
+Result<std::vector<Program>> Synthesizer::SynthesizeDistinctImpl(
+    const Example& example, size_t limit, const RunContext& caller_ctx) const {
   RunContext ctx =
       caller_ctx.WithDeadlineCap(Deadline::AfterOrInfinite(options_.timeout_seconds));
   ProgressTracker progress;

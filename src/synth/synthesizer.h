@@ -116,6 +116,14 @@ class Synthesizer {
   const SynthesisOptions& options() const { return options_; }
 
  private:
+  /// Bodies of the two context-bounded calls, minus the crash-free boundary
+  /// (the public entries install the run's MemoryBudget and map thrown
+  /// bad_alloc / injected faults to typed Statuses).
+  Result<SynthesisResult> SynthesizeImpl(const Example& example,
+                                         const RunContext& ctx) const;
+  Result<std::vector<Program>> SynthesizeDistinctImpl(const Example& example, size_t limit,
+                                                      const RunContext& ctx) const;
+
   Schema source_;
   Schema target_;
   SynthesisOptions options_;

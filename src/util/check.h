@@ -1,0 +1,54 @@
+// DYNAMITE_CHECK / DYNAMITE_DCHECK: invariant checks that survive release
+// builds.
+//
+// Before this header the load-bearing invariants (relation arity on insert,
+// Result access, solver level-0 preconditions) were plain `assert`s, which
+// NDEBUG compiles out — a violated invariant in a release binary became
+// silent memory corruption instead of a diagnosable crash. DYNAMITE_CHECK
+// aborts with file:line, the failed condition, and an optional message in
+// ALL build types; the cost is one predictable branch, which is why it is
+// reserved for cheap comparisons on paths where corruption would be
+// unbounded.
+//
+// DYNAMITE_DCHECK keeps the old assert economics: compiled out under NDEBUG,
+// for checks too expensive to run in release hot loops (e.g. re-hashing every
+// inserted row to validate a caller-supplied hash).
+
+#ifndef DYNAMITE_UTIL_CHECK_H_
+#define DYNAMITE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dynamite {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition, const char* msg) {
+  std::fprintf(stderr, "DYNAMITE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dynamite
+
+/// Aborts with file:line + message when `cond` is false, in every build type.
+/// Optional second argument: a string literal appended to the diagnostic.
+#define DYNAMITE_CHECK(cond, ...)                                         \
+  ((cond) ? (void)0                                                      \
+          : ::dynamite::internal::CheckFailed(__FILE__, __LINE__, #cond, \
+                                              "" __VA_ARGS__))
+
+/// Debug-only check for expensive validations; compiled out under NDEBUG but
+/// keeps its operands ODR-used so release builds don't warn about unused
+/// variables.
+#ifdef NDEBUG
+#define DYNAMITE_DCHECK(cond, ...) (false ? (void)(cond) : (void)0)
+#else
+#define DYNAMITE_DCHECK(cond, ...) DYNAMITE_CHECK(cond, ##__VA_ARGS__)
+#endif
+
+#endif  // DYNAMITE_UTIL_CHECK_H_

@@ -1,0 +1,276 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+namespace dynamite {
+namespace failpoint {
+namespace {
+
+// SplitMix64 finalizer: maps (seed, execution index) to a uniform 64-bit
+// value so probabilistic triggers are reproducible across platforms.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Status ParsePart(const std::string& part, Spec* spec, bool* saw_trigger,
+                 bool* saw_kind) {
+  auto bad = [&part]() {
+    return Status::InvalidArgument("bad failpoint spec part: '" + part + "'");
+  };
+  if (part.rfind("hit_", 0) == 0) {
+    if (*saw_trigger) return bad();
+    *saw_trigger = true;
+    std::string num = part.substr(4);
+    if (!num.empty() && num.back() == '+') {
+      spec->repeat = true;
+      num.pop_back();
+    }
+    char* end = nullptr;
+    spec->hit = std::strtoull(num.c_str(), &end, 10);
+    if (num.empty() || *end != '\0' || spec->hit == 0) return bad();
+    return Status::OK();
+  }
+  if (part.rfind("p=", 0) == 0) {
+    if (*saw_trigger) return bad();
+    *saw_trigger = true;
+    const std::string body = part.substr(2);
+    const size_t at = body.find('@');
+    if (at == std::string::npos) return bad();
+    // The probability text must outlive the strtod call: `end` points into
+    // its buffer and is dereferenced after.
+    const std::string prob = body.substr(0, at);
+    char* end = nullptr;
+    spec->probability = std::strtod(prob.c_str(), &end);
+    if (prob.empty() || *end != '\0' || spec->probability <= 0 ||
+        spec->probability > 1) {
+      return bad();
+    }
+    const std::string seed = body.substr(at + 1);
+    spec->seed = std::strtoull(seed.c_str(), &end, 10);
+    if (seed.empty() || *end != '\0') return bad();
+    return Status::OK();
+  }
+  if (*saw_kind) return bad();
+  *saw_kind = true;
+  if (part == "resource") {
+    spec->kind = Kind::kResourceExhausted;
+  } else if (part == "badalloc") {
+    spec->kind = Kind::kBadAlloc;
+  } else if (part == "cancel") {
+    spec->kind = Kind::kCancelled;
+  } else if (part == "timeout") {
+    spec->kind = Kind::kTimeout;
+  } else if (part == "oor") {
+    spec->kind = Kind::kOutOfRange;
+  } else {
+    return bad();
+  }
+  return Status::OK();
+}
+
+// Parses "hit_3:badalloc" / "p=0.5@7" / "cancel" / "" into *spec.
+Status ParseSpecString(const std::string& spec_str, Spec* spec) {
+  bool saw_trigger = false, saw_kind = false;
+  size_t pos = 0;
+  while (pos <= spec_str.size() && !spec_str.empty()) {
+    const size_t colon = spec_str.find(':', pos);
+    const size_t end = colon == std::string::npos ? spec_str.size() : colon;
+    DYNAMITE_RETURN_NOT_OK(ParsePart(spec_str.substr(pos, end - pos), spec,
+                                     &saw_trigger, &saw_kind));
+    if (colon == std::string::npos) break;
+    pos = colon + 1;
+  }
+  return Status::OK();
+}
+
+// Splits "site[:spec],site[:spec]" into (name, parsed spec) pairs.
+Status ParseEnvString(const std::string& env,
+                      std::vector<std::pair<std::string, Spec>>* out) {
+  size_t pos = 0;
+  while (pos < env.size()) {
+    const size_t comma = env.find(',', pos);
+    const size_t end = comma == std::string::npos ? env.size() : comma;
+    const std::string entry = env.substr(pos, end - pos);
+    if (!entry.empty()) {
+      const size_t colon = entry.find(':');
+      const std::string name = entry.substr(0, colon);
+      if (name.empty()) {
+        return Status::InvalidArgument("empty failpoint name in '" + entry +
+                                       "'");
+      }
+      Spec spec;
+      DYNAMITE_RETURN_NOT_OK(ParseSpecString(
+          colon == std::string::npos ? "" : entry.substr(colon + 1), &spec));
+      out->emplace_back(name, spec);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// Process-wide site registry. Sites register on first execution; specs armed
+/// before a site exists are held pending and attached at registration. Spec
+/// objects are never freed while the process runs (a firing site may hold a
+/// pointer from another thread); they are parked in `retired_` so leak
+/// checkers see them as reachable.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* r = new Registry();  // never destroyed: sites outlive it
+    return *r;
+  }
+
+  void Register(Site* site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sites_.emplace(site->name_, site);
+    auto it = pending_.find(site->name_);
+    if (it != pending_.end()) {
+      site->spec_.store(it->second, std::memory_order_release);
+    }
+  }
+
+  void Arm(const std::string& name, Spec spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ArmLocked(name, spec);
+  }
+
+  void Disarm(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(name);
+    auto [lo, hi] = sites_.equal_range(name);
+    for (auto it = lo; it != hi; ++it) {
+      it->second->spec_.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+    for (auto& [name, site] : sites_) {
+      site->spec_.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  std::vector<std::string> KnownSites() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::set<std::string> names;
+    for (auto& [name, site] : sites_) names.insert(name);
+    return std::vector<std::string>(names.begin(), names.end());
+  }
+
+ private:
+  // Runs inside the Instance() magic-static guard, so it must not call back
+  // into Instance(): env specs are parsed and armed through the private
+  // path, never the public free functions.
+  Registry() {
+    if (const char* env = std::getenv("DYNAMITE_FAILPOINTS")) {
+      std::vector<std::pair<std::string, Spec>> specs;
+      Status st = ParseEnvString(env, &specs);
+      if (!st.ok()) {
+        // Diagnose typos loudly: a silently ignored failpoint spec makes a
+        // fault-injection CI run vacuously green.
+        std::fprintf(stderr, "DYNAMITE_FAILPOINTS: %s\n",
+                     st.ToString().c_str());
+        std::abort();
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [name, spec] : specs) ArmLocked(name, spec);
+    }
+  }
+
+  void ArmLocked(const std::string& name, Spec spec) {
+    auto owned = std::make_unique<const Spec>(spec);
+    const Spec* raw = owned.get();
+    retired_.push_back(std::move(owned));
+    pending_[name] = raw;
+    auto [lo, hi] = sites_.equal_range(name);
+    for (auto it = lo; it != hi; ++it) {
+      it->second->hits_.store(0, std::memory_order_relaxed);
+      it->second->spec_.store(raw, std::memory_order_release);
+    }
+  }
+
+  std::mutex mu_;
+  std::multimap<std::string, Site*> sites_;
+  std::map<std::string, const Spec*> pending_;
+  std::vector<std::unique_ptr<const Spec>> retired_;
+};
+
+Site::Site(const char* name) : name_(name) {
+  Registry::Instance().Register(this);
+}
+
+Status Site::Fire() {
+  const Spec* spec = spec_.load(std::memory_order_acquire);
+  if (spec == nullptr) return Status::OK();
+  const uint64_t n = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire;
+  if (spec->probability > 0) {
+    const uint64_t h = Mix64(spec->seed ^ (n * 0x9e3779b97f4a7c15ULL));
+    fire = static_cast<double>(h >> 11) * 0x1.0p-53 < spec->probability;
+  } else if (spec->hit > 0) {
+    fire = spec->repeat ? n >= spec->hit : n == spec->hit;
+  } else {
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+  const std::string msg = std::string("injected by failpoint ") + name_;
+  switch (spec->kind) {
+    case Kind::kBadAlloc:
+      throw std::bad_alloc();
+    case Kind::kCancelled:
+      return Status::Cancelled(msg);
+    case Kind::kTimeout:
+      return Status::Timeout(msg);
+    case Kind::kOutOfRange:
+      return Status::OutOfRange(msg);
+    case Kind::kResourceExhausted:
+      break;
+  }
+  return Status::ResourceExhausted(msg);
+}
+
+void Site::FireOrThrow() {
+  Status st = Fire();  // Kind::kBadAlloc already throws from here
+  if (!st.ok()) throw InjectedError(std::move(st));
+}
+
+void Arm(const std::string& name, Spec spec) {
+  Registry::Instance().Arm(name, spec);
+}
+
+Status ArmFromString(const std::string& name, const std::string& spec_str) {
+  Spec spec;
+  DYNAMITE_RETURN_NOT_OK(ParseSpecString(spec_str, &spec));
+  Arm(name, spec);
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) { Registry::Instance().Disarm(name); }
+
+void DisarmAll() { Registry::Instance().DisarmAll(); }
+
+std::vector<std::string> KnownSites() {
+  return Registry::Instance().KnownSites();
+}
+
+Status ArmFromEnvString(const std::string& env) {
+  std::vector<std::pair<std::string, Spec>> specs;
+  DYNAMITE_RETURN_NOT_OK(ParseEnvString(env, &specs));
+  for (auto& [name, spec] : specs) Arm(name, spec);
+  return Status::OK();
+}
+
+}  // namespace failpoint
+}  // namespace dynamite

@@ -4,10 +4,10 @@
 #ifndef DYNAMITE_UTIL_RESULT_H_
 #define DYNAMITE_UTIL_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace dynamite {
@@ -28,7 +28,8 @@ class Result {
 
   /// Constructs a failed result from a non-OK status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    DYNAMITE_CHECK(!status_.ok(),
+                   "Result constructed from OK status without value");
   }
 
   /// True if a value is present.
@@ -37,15 +38,16 @@ class Result {
   /// The status: OK when a value is present, the error otherwise.
   const Status& status() const { return status_; }
 
-  /// The value; must only be called when ok().
+  /// The value; must only be called when ok(). Aborts (all build types) on
+  /// error access — reading through a failed Result would hand out garbage.
   const T& ValueOrDie() const& {
-    assert(ok());
+    DYNAMITE_CHECK(ok(), "ValueOrDie on error Result");
     return *value_;
   }
 
   /// Moves the value out; must only be called when ok().
   T ValueOrDie() && {
-    assert(ok());
+    DYNAMITE_CHECK(ok(), "ValueOrDie on error Result");
     return std::move(*value_);
   }
 

@@ -36,6 +36,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "EvalBudget";
     case StatusCode::kAmbiguous:
       return "Ambiguous";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

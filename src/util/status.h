@@ -32,6 +32,7 @@ enum class StatusCode {
   kSchemaMismatch,  ///< schema invalid, or instance inconsistent with schema
   kEvalBudget,     ///< a non-wall-clock budget (iterations, tuples) exhausted
   kAmbiguous,      ///< several semantically distinct programs remain
+  kResourceExhausted,  ///< a memory budget was exceeded or allocation failed
 };
 
 /// Alias used by the Session pipeline API: callers branch on
@@ -102,6 +103,9 @@ class Status {
   }
   static Status Ambiguous(std::string msg) {
     return Status(StatusCode::kAmbiguous, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True if this status represents success.

@@ -16,8 +16,14 @@
 // invoked at most a few times per fixpoint round, so dispatch latency is
 // irrelevant next to the chunk work, and the simple protocol is trivially
 // clean under TSan. Run() is not reentrant and must only be called from one
-// thread at a time (the engine's evaluator is the only caller). Callbacks
-// must not throw.
+// thread at a time (the engine's evaluator is the only caller).
+//
+// Callbacks MAY throw: every invocation runs inside a noexcept trampoline
+// that converts escaping exceptions (a real bad_alloc, an injected
+// failpoint, anything else) into a Status instead of letting a worker
+// thread std::terminate the process. Run() merges per-worker failures and
+// returns the first one; the engine uses a non-OK return to fall back to
+// the sequential path (see EvalPlanParallel).
 
 #ifndef DYNAMITE_UTIL_THREAD_POOL_H_
 #define DYNAMITE_UTIL_THREAD_POOL_H_
@@ -27,8 +33,12 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "util/failpoint.h"
+#include "util/status.h"
 
 namespace dynamite {
 
@@ -62,25 +72,71 @@ class ThreadPool {
   /// Invokes fn(w) once for every worker index w in [0, num_workers());
   /// fn(0) runs on the calling thread. Returns when every invocation has
   /// completed. Not reentrant.
-  void Run(const std::function<void(size_t)>& fn) {
+  ///
+  /// Returns OK if every invocation returned normally; otherwise the first
+  /// failure, with the message noting how many workers failed in total.
+  /// Every invocation always runs to completion (or to its own failure) —
+  /// a failing worker never tears down its siblings mid-chunk.
+  Status Run(const std::function<void(size_t)>& fn) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      first_failure_ = Status::OK();
+      failure_count_ = 0;
+    }
+    const std::function<void(size_t)> wrapped = [this, &fn](size_t w) {
+      Invoke(fn, w);
+    };
     if (threads_.empty()) {
-      fn(0);
-      return;
+      wrapped(0);
+      return TakeFailure();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      job_ = &fn;
+      job_ = &wrapped;
       ++generation_;
       remaining_ = threads_.size();
     }
     wake_.notify_all();
-    fn(0);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return remaining_ == 0; });
-    job_ = nullptr;
+    wrapped(0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_.wait(lock, [this] { return remaining_ == 0; });
+      job_ = nullptr;
+    }
+    return TakeFailure();
   }
 
  private:
+  /// The noexcept trampoline: no exception crosses a thread boundary.
+  void Invoke(const std::function<void(size_t)>& fn, size_t w) noexcept {
+    try {
+      DYNAMITE_FAILPOINT_THROW("thread_pool.worker");
+      fn(w);
+    } catch (const failpoint::InjectedError& e) {
+      Capture(e.status());
+    } catch (const std::bad_alloc&) {
+      Capture(Status::ResourceExhausted("worker thread: allocation failed"));
+    } catch (const std::exception& e) {
+      Capture(Status::Internal(std::string("worker thread: ") + e.what()));
+    } catch (...) {
+      Capture(Status::Internal("worker thread: unknown exception"));
+    }
+  }
+
+  void Capture(Status status) {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    if (failure_count_++ == 0) first_failure_ = std::move(status);
+  }
+
+  Status TakeFailure() {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    if (failure_count_ <= 1) return first_failure_;
+    return Status(first_failure_.code(),
+                  first_failure_.message() + " (and " +
+                      std::to_string(failure_count_ - 1) +
+                      " more worker failures)");
+  }
+
   void WorkerLoop(size_t worker_index) {
     uint64_t seen = 0;
     for (;;) {
@@ -108,6 +164,10 @@ class ThreadPool {
   uint64_t generation_ = 0;
   size_t remaining_ = 0;
   bool shutdown_ = false;
+
+  std::mutex fail_mu_;
+  Status first_failure_;
+  size_t failure_count_ = 0;
 };
 
 }  // namespace dynamite

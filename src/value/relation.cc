@@ -5,6 +5,9 @@
 #include <cassert>
 #include <utility>
 
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
 #include "util/strings.h"
 
 namespace dynamite {
@@ -81,6 +84,10 @@ Relation& Relation::operator=(Relation&& other) noexcept {
 }
 
 void Relation::Rehash(size_t new_slot_count) {
+  if (new_slot_count > slots_.size()) {
+    MemoryBudget::ChargeCurrent((new_slot_count - slots_.size()) *
+                                sizeof(uint32_t));
+  }
   slots_.assign(new_slot_count, kEmptySlot);
   size_t mask = new_slot_count - 1;
   for (size_t idx = 0; idx < num_rows_; ++idx) {
@@ -102,9 +109,12 @@ bool Relation::InsertRow(const Value* vals, size_t count) {
 }
 
 bool Relation::InsertRowPrehashed(const Value* vals, size_t count, size_t h) {
-  assert(count == arity());
-  assert(h == HashValueRange(vals, count));
+  // A mismatched arity scribbles past column ends — abort in release too.
+  // The hash recomputation stays debug-only: it re-hashes every row.
+  DYNAMITE_CHECK(count == arity(), "InsertRow arity mismatch");
+  DYNAMITE_DCHECK(h == HashValueRange(vals, count));
   (void)count;
+  DYNAMITE_FAILPOINT_THROW("relation.insert.alloc");
   // Grow at 3/4 load (slot count is a power of two).
   if (slots_.empty()) {
     Rehash(16);
@@ -119,6 +129,8 @@ bool Relation::InsertRowPrehashed(const Value* vals, size_t count, size_t h) {
     i = (i + 1) & mask;
   }
   slots_[i] = static_cast<uint32_t>(num_rows_);
+  MemoryBudget::ChargeCurrent(columns_.size() * sizeof(Value) +
+                              sizeof(size_t));
   for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(vals[c]);
   row_hashes_.push_back(h);
   ++num_rows_;
@@ -126,12 +138,12 @@ bool Relation::InsertRowPrehashed(const Value* vals, size_t count, size_t h) {
 }
 
 bool Relation::Insert(const Tuple& t) {
-  assert(t.arity() == arity());
+  DYNAMITE_CHECK(t.arity() == arity(), "Insert arity mismatch");
   return InsertRow(t.values().data(), t.arity());
 }
 
 bool Relation::ContainsRow(const Value* vals, size_t count) const {
-  assert(count == arity());
+  DYNAMITE_CHECK(count == arity(), "ContainsRow arity mismatch");
   if (slots_.empty()) return false;
   size_t h = HashValueRange(vals, count);
   size_t mask = slots_.size() - 1;

@@ -4,7 +4,9 @@
 #include <cstdlib>
 #include <functional>
 
+#include "util/failpoint.h"
 #include "util/hash.h"
+#include "util/mem_budget.h"
 
 namespace dynamite {
 
@@ -40,6 +42,17 @@ Result<uint32_t> StringPool::TryIntern(std::string_view s) {
   auto it = shard.ids.find(s);
   if (it != shard.ids.end()) return it->second;
 
+  // Placed after the lookup so only NOVEL strings can fail — interning of
+  // already-seen strings (the synthesizer's steady state) stays infallible,
+  // which is also what makes the overflow path testable: arm this site
+  // instead of interning 2^32 distinct strings.
+  DYNAMITE_FAILPOINT("string_pool.intern");
+  // A novel string costs its characters plus a map entry; charged before the
+  // append so an exhausted budget is observed at the next poll even though
+  // this insert itself still completes.
+  MemoryBudget::ChargeCurrent(s.size() + sizeof(std::string) +
+                              2 * sizeof(void*));
+
   const std::string* stored;
   uint32_t id;
   {
@@ -55,7 +68,9 @@ Result<uint32_t> StringPool::TryIntern(std::string_view s) {
     Locate(id, &chunk, &offset);
     std::string* storage = chunks_[chunk].load(std::memory_order_relaxed);
     if (storage == nullptr) {
-      storage = new std::string[size_t{1} << (chunk + kMinChunkBits)];
+      const size_t slots = size_t{1} << (chunk + kMinChunkBits);
+      MemoryBudget::ChargeCurrent(slots * sizeof(std::string));
+      storage = new std::string[slots];
       chunks_[chunk].store(storage, std::memory_order_release);
     }
     storage[offset] = std::string(s);

@@ -70,6 +70,13 @@ class Value {
     out.str_ = StringPool::Global().Intern(v);
     return out;
   }
+  /// Like String, but surfaces pool overflow as kOutOfRange instead of
+  /// aborting. Ingest paths (JSON documents, parsed programs) use this so
+  /// adversarial input degrades to a typed error.
+  static Result<Value> TryString(std::string_view v) {
+    DYNAMITE_ASSIGN_OR_RETURN(uint32_t id, StringPool::Global().TryIntern(v));
+    return InternedString(id);
+  }
   /// An internal record identifier; `raw` must be unique per record.
   static Value Id(uint64_t raw) {
     Value out(ValueKind::kId);

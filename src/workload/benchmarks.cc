@@ -4,6 +4,7 @@
 
 #include "migrate/migrator.h"
 #include "schema/schema_builder.h"
+#include "util/failpoint.h"
 #include "workload/families.h"
 
 namespace dynamite {
@@ -485,9 +486,13 @@ const Benchmark* FindBenchmark(const std::string& name) {
 
 Result<RecordForest> GenerateSource(const Benchmark& bench, uint64_t seed, size_t scale) {
   const Family& f = GetFamily(bench.family);
-  RecordForest forest = f.generate(seed, scale);
-  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, bench.source));
-  return forest;
+  // Crash-free boundary: datagen's S() throws on string-pool overflow (see
+  // datagen.h); surface it as the typed kOutOfRange this Result promises.
+  return failpoint::GuardExceptions("source generation", [&]() -> Result<RecordForest> {
+    RecordForest forest = f.generate(seed, scale);
+    DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, bench.source));
+    return forest;
+  });
 }
 
 Result<Example> MakeExample(const Benchmark& bench, uint64_t seed, size_t scale) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "instance/record_forest.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "value/value.h"
 
@@ -18,8 +19,16 @@ namespace workload {
 /// Builds a flat record.
 RecordNode Rec(std::string type, std::vector<std::pair<std::string, Value>> prims);
 
-/// Shorthand value constructors.
-inline Value S(std::string s) { return Value::String(std::move(s)); }
+/// Shorthand value constructors. S routes through TryIntern and carries an
+/// id-space overflow (kOutOfRange) out as an exception rather than aborting:
+/// the generators build records in plain value-returning code, and the
+/// GuardExceptions boundary in GenerateSource converts it back into the
+/// typed Status its Result channel promises.
+inline Value S(std::string s) {
+  Result<Value> v = Value::TryString(s);
+  if (!v.ok()) throw failpoint::InjectedError(v.status());
+  return std::move(v).ValueOrDie();
+}
 inline Value I(int64_t v) { return Value::Int(v); }
 inline Value F(double v) { return Value::Float(v); }
 

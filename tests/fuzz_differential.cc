@@ -1,0 +1,468 @@
+// Differential + fault-injection fuzzer (not a gtest: own main, CLI flags).
+//
+// Two modes:
+//
+//   fuzz_differential [--iterations=N] [--seed=S] [--threads=T]
+//     N rounds of seeded random pipelines. Each round builds either a random
+//     flat relational schema pair (synthesized end-to-end) or one of the 28
+//     workload benchmarks (golden program), then checks three invariants:
+//       1. Parity: Session(threads=1), Session(threads=T) and the legacy
+//          Migrator shim produce identical target instances (and, for
+//          synthesized cases, identical programs).
+//       2. Fault tolerance: re-running with a randomly armed failpoint
+//          (random site, kind, trigger) either reproduces the baseline
+//          bit-identically or fails with a typed Status from the injected
+//          set — never a crash, never an untyped error.
+//       3. Recovery: after DisarmAll, the same Session/engine objects
+//          reproduce the baseline (no stale state from the aborted run).
+//     Every ~16th round instead exercises memory governance: meters the
+//     migration's byte charges through a caller-provided MemoryBudget
+//     (which must override SessionOptions::max_memory_bytes), then requires
+//     kResourceExhausted under a budget far below the metered charge.
+//
+//   fuzz_differential --smoke [--seed=S]
+//     Fires every registered failpoint site once per kind
+//     (resource/cancel/timeout/badalloc) through a fresh small pipeline and
+//     requires OK-or-typed on each stage. CI runs this under TSan; the
+//     fuzz loop runs under ASan+UBSan (see .github/workflows/ci.yml).
+//
+// The seed is printed on startup; any failure reprints it with the
+// iteration, so every finding is one command away from a reproduction.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "migrate/facts.h"
+#include "migrate/migrator.h"
+#include "schema/schema_builder.h"
+#include "util/failpoint.h"
+#include "util/mem_budget.h"
+#include "util/rng.h"
+#include "workload/benchmarks.h"
+
+namespace dynamite {
+namespace {
+
+struct CliOptions {
+  size_t iterations = 25;
+  uint64_t seed = 1;
+  size_t threads = 4;
+  bool smoke = false;
+};
+
+uint64_t g_seed = 0;
+size_t g_iteration = 0;
+
+#define FUZZ_ASSERT(cond, ...)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "\nFUZZ FAILURE (seed=%" PRIu64 " iteration=%zu): %s\n", \
+                   g_seed, g_iteration, #cond);                             \
+      std::fprintf(stderr, "  " __VA_ARGS__);                               \
+      std::fprintf(stderr, "\n");                                           \
+      std::exit(1);                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Status codes a fault-injected run is allowed to surface. Anything else
+/// (or a crash) is a finding.
+bool IsInjectable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted || code == StatusCode::kCancelled ||
+         code == StatusCode::kTimeout || code == StatusCode::kOutOfRange;
+}
+
+/// One self-contained fuzz case: schemas, a program (synthesized or golden),
+/// an example (empty for golden cases), and a migration-scale instance.
+struct FuzzCase {
+  Schema source;
+  Schema target;
+  Example example;   ///< non-empty iff the case synthesizes its program
+  bool synthesized = false;
+  Program program;   ///< golden program for workload cases, else unset
+  RecordForest instance;
+  std::string label;
+};
+
+/// Random flat relational projection pair: one source table with 2-6 mixed
+/// int/string columns, one target table selecting a random nonempty subset
+/// (target attributes are renamed, values copied verbatim). Projections keep
+/// synthesis fast (small sketch space) while still exercising mapping
+/// inference, SAT enumeration, candidate evaluation, and full migration.
+FuzzCase MakeProjectionCase(Rng* rng) {
+  FuzzCase fc;
+  fc.synthesized = true;
+  fc.label = "projection";
+
+  const size_t ncols = 2 + rng->NextIndex(5);
+  std::vector<AttrDecl> src_cols;
+  std::vector<bool> is_string(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    // Always at least one string column: string cells route through the
+    // interner, keeping string_pool.intern live in every case.
+    is_string[c] = c == 0 || rng->NextBool(0.4);
+    src_cols.push_back({"c" + std::to_string(c) + "_" + rng->NextIdent(4),
+                        is_string[c] ? PrimitiveType::kString : PrimitiveType::kInt});
+  }
+  std::vector<size_t> picked = rng->SampleIndices(ncols, 1 + rng->NextIndex(ncols));
+  std::vector<AttrDecl> tgt_cols;
+  for (size_t c : picked) {
+    tgt_cols.push_back({"t_" + src_cols[c].name, src_cols[c].type});
+  }
+
+  RelationalSchemaBuilder sb;
+  sb.AddTable("Src", src_cols);
+  fc.source = sb.Build().ValueOrDie();
+  RelationalSchemaBuilder tb;
+  tb.AddTable("Tgt", tgt_cols);
+  fc.target = tb.Build().ValueOrDie();
+
+  // A row of fresh cell values; the per-case ident prefix keeps string cells
+  // novel across cases (each run interns strings it has never seen).
+  auto make_row = [&](std::vector<Value>* cells) {
+    cells->clear();
+    for (size_t c = 0; c < ncols; ++c) {
+      if (is_string[c]) {
+        cells->push_back(Value::String(rng->NextIdent(3) + "_" + rng->NextIdent(5)));
+      } else {
+        cells->push_back(Value::Int(rng->NextInt(-1000, 1000)));
+      }
+    }
+  };
+  auto add_pair = [&](RecordForest* in, RecordForest* out, const std::vector<Value>& cells) {
+    RecordNode src_rec;
+    src_rec.type = "Src";
+    for (size_t c = 0; c < ncols; ++c) src_rec.prims.push_back({src_cols[c].name, cells[c]});
+    in->roots.push_back(std::move(src_rec));
+    if (out == nullptr) return;
+    RecordNode tgt_rec;
+    tgt_rec.type = "Tgt";
+    for (size_t i = 0; i < picked.size(); ++i) {
+      tgt_rec.prims.push_back({tgt_cols[i].name, cells[picked[i]]});
+    }
+    out->roots.push_back(std::move(tgt_rec));
+  };
+
+  std::vector<Value> cells;
+  const size_t example_rows = 3 + rng->NextIndex(4);
+  for (size_t r = 0; r < example_rows; ++r) {
+    make_row(&cells);
+    add_pair(&fc.example.input, &fc.example.output, cells);
+  }
+  // Instance sized to cross the engine's parallel threshold (256 first-atom
+  // rows) about half the time, so both code paths see fuzz traffic.
+  const size_t instance_rows = 20 + rng->NextIndex(500);
+  for (size_t r = 0; r < instance_rows; ++r) {
+    make_row(&cells);
+    add_pair(&fc.instance, nullptr, cells);
+  }
+  return fc;
+}
+
+/// Workload case: a random Table 2 benchmark, migrated with its golden
+/// program (synthesis of the hard benchmarks is its own test; the fuzzer
+/// uses them for schema/instance diversity at migration scale).
+FuzzCase MakeWorkloadCase(Rng* rng) {
+  const auto& all = workload::AllBenchmarks();
+  const workload::Benchmark& bench = all[rng->NextIndex(all.size())];
+  FuzzCase fc;
+  fc.label = "workload:" + bench.name;
+  fc.source = bench.source;
+  fc.target = bench.target;
+  fc.program = bench.golden;
+  const size_t scale = 30 + rng->NextIndex(150);
+  auto instance = workload::GenerateSource(bench, rng->Next(), scale);
+  FUZZ_ASSERT(instance.ok(), "GenerateSource(%s): %s", bench.name.c_str(),
+              instance.status().ToString().c_str());
+  fc.instance = std::move(instance).ValueOrDie();
+  return fc;
+}
+
+Session MakeSession(const FuzzCase& fc, size_t threads, size_t max_memory_bytes = 0) {
+  SessionOptions so;
+  so.num_threads = threads;
+  so.max_memory_bytes = max_memory_bytes;
+  auto session = Session::Create(fc.source, fc.target, so);
+  FUZZ_ASSERT(session.ok(), "Session::Create(%s): %s", fc.label.c_str(),
+              session.status().ToString().c_str());
+  return std::move(session).ValueOrDie();
+}
+
+/// Runs the case's pipeline on `session`: synthesize (when the case carries
+/// an example) then migrate. Returns the first non-OK status, or OK with the
+/// program/output filled in.
+Status RunPipeline(const Session& session, const FuzzCase& fc, Program* program,
+                   RecordForest* output) {
+  if (fc.synthesized) {
+    auto synth = session.Synthesize(fc.example);
+    if (!synth.ok()) return synth.status();
+    *program = synth.ValueOrDie().program;
+  } else {
+    *program = fc.program;
+  }
+  auto migrated = session.Migrate(*program, fc.instance);
+  if (!migrated.ok()) return migrated.status();
+  *output = std::move(migrated).ValueOrDie();
+  return Status::OK();
+}
+
+/// Arms a random (site, kind, trigger) combination. Synthesized cases skip
+/// the timeout kind: the synthesizer deliberately treats a per-candidate
+/// kTimeout as "this candidate is too expensive" and moves on to the next
+/// model, so an injected timeout can legitimately steer enumeration to a
+/// different (equally consistent) program — by design, not a bug, but it
+/// breaks the fuzzer's bit-identical baseline comparison.
+std::string ArmRandomFault(Rng* rng, bool include_timeout) {
+  std::vector<std::string> sites = failpoint::KnownSites();
+  FUZZ_ASSERT(!sites.empty(), "no failpoint sites registered after a baseline run");
+  const std::string& site = sites[rng->NextIndex(sites.size())];
+  std::vector<const char*> kinds = {"resource", "cancel", "badalloc", "oor"};
+  if (include_timeout) kinds.push_back("timeout");
+  const char* kind = kinds[rng->NextIndex(kinds.size())];
+  std::string trigger;
+  if (rng->NextBool(0.6)) {
+    trigger = "hit_" + std::to_string(1 + rng->NextIndex(12));
+    if (rng->NextBool(0.3)) trigger += "+";
+  } else {
+    trigger = "p=0." + std::to_string(1 + rng->NextIndex(8)) + "@" +
+              std::to_string(rng->Next() & 0xffff);
+  }
+  std::string spec = trigger + ":" + kind;
+  Status st = failpoint::ArmFromString(site, spec);
+  FUZZ_ASSERT(st.ok(), "ArmFromString(%s, %s): %s", site.c_str(), spec.c_str(),
+              st.ToString().c_str());
+  return site + ":" + spec;
+}
+
+void RunDifferentialIteration(Rng* rng, size_t threads) {
+  const bool workload_case = rng->NextBool(0.34);
+  FuzzCase fc = workload_case ? MakeWorkloadCase(rng) : MakeProjectionCase(rng);
+
+  // --- invariant 1: parity across thread counts and the legacy shim -------
+  Session seq = MakeSession(fc, 1);
+  Session par = MakeSession(fc, threads);
+  Program seq_program, par_program;
+  RecordForest seq_out, par_out;
+  Status st = RunPipeline(seq, fc, &seq_program, &seq_out);
+  FUZZ_ASSERT(st.ok(), "[%s] sequential baseline failed: %s", fc.label.c_str(),
+              st.ToString().c_str());
+  st = RunPipeline(par, fc, &par_program, &par_out);
+  FUZZ_ASSERT(st.ok(), "[%s] threads=%zu run failed: %s", fc.label.c_str(), threads,
+              st.ToString().c_str());
+  FUZZ_ASSERT(seq_program == par_program, "[%s] synthesized programs diverge:\n%s\nvs\n%s",
+              fc.label.c_str(), seq_program.ToString().c_str(),
+              par_program.ToString().c_str());
+  FUZZ_ASSERT(ForestEquals(seq_out, par_out), "[%s] threads=1 vs threads=%zu outputs diverge",
+              fc.label.c_str(), threads);
+  Migrator shim(fc.source, fc.target);
+  auto shim_out = shim.Migrate(seq_program, fc.instance);
+  FUZZ_ASSERT(shim_out.ok(), "[%s] legacy Migrator failed: %s", fc.label.c_str(),
+              shim_out.status().ToString().c_str());
+  FUZZ_ASSERT(ForestEquals(seq_out, shim_out.ValueOrDie()),
+              "[%s] legacy Migrator output diverges", fc.label.c_str());
+
+  // --- invariant 2: a fault-injected rerun is bit-identical or typed ------
+  std::string fault = ArmRandomFault(rng, /*include_timeout=*/!fc.synthesized);
+  Program injected_program;
+  RecordForest injected_out;
+  st = RunPipeline(par, fc, &injected_program, &injected_out);
+  if (st.ok()) {
+    FUZZ_ASSERT(injected_program == seq_program,
+                "[%s] fault %s: OK result but program diverges", fc.label.c_str(),
+                fault.c_str());
+    FUZZ_ASSERT(ForestEquals(injected_out, seq_out),
+                "[%s] fault %s: OK result but output diverges", fc.label.c_str(),
+                fault.c_str());
+  } else {
+    FUZZ_ASSERT(IsInjectable(st.code()), "[%s] fault %s: untyped failure %s",
+                fc.label.c_str(), fault.c_str(), st.ToString().c_str());
+  }
+
+  // --- invariant 3: the same objects recover fully after disarming --------
+  failpoint::DisarmAll();
+  Program recovered_program;
+  RecordForest recovered_out;
+  st = RunPipeline(par, fc, &recovered_program, &recovered_out);
+  FUZZ_ASSERT(st.ok(), "[%s] post-fault rerun (after %s) failed: %s — engine not reusable",
+              fc.label.c_str(), fault.c_str(), st.ToString().c_str());
+  FUZZ_ASSERT(recovered_program == seq_program && ForestEquals(recovered_out, seq_out),
+              "[%s] post-fault rerun (after %s) diverges from baseline", fc.label.c_str(),
+              fault.c_str());
+}
+
+/// Memory-governance round: the same migration must fail typed under a tiny
+/// byte budget and succeed untouched without one.
+void RunMemoryGovernanceIteration(Rng* rng) {
+  FuzzCase fc = MakeWorkloadCase(rng);
+  Session unbounded = MakeSession(fc, 1);
+  auto baseline = unbounded.Migrate(fc.program, fc.instance);
+  FUZZ_ASSERT(baseline.ok(), "[%s] unbounded migration failed: %s", fc.label.c_str(),
+              baseline.status().ToString().c_str());
+
+  // Meter the run's actual byte charges with an ample caller-provided
+  // budget. Installing it in RunContext::memory must also override the
+  // session's own (absurdly tight) limit — the documented precedence.
+  MemoryBudget meter(size_t{1} << 34);
+  RunContext metered_ctx;
+  metered_ctx.memory = &meter;
+  Session tight_opts = MakeSession(fc, 1, /*max_memory_bytes=*/1);
+  auto metered = tight_opts.Migrate(fc.program, fc.instance, nullptr, metered_ctx);
+  FUZZ_ASSERT(metered.ok(), "[%s] caller budget did not override session limit: %s",
+              fc.label.c_str(), metered.status().ToString().c_str());
+  FUZZ_ASSERT(ForestEquals(baseline.ValueOrDie(), metered.ValueOrDie()),
+              "[%s] metered migration output diverges", fc.label.c_str());
+
+  // Starvation: a budget far below the metered charge must surface
+  // kResourceExhausted. Small cases can legitimately finish on a few bytes
+  // of charges, so only starve when there is real headroom — the poll points
+  // need some post-exhaustion work left to observe the trip.
+  if (meter.used() >= 4096) {
+    const size_t starve_budget = meter.used() / 8;
+    Session tiny = MakeSession(fc, 1, starve_budget);
+    auto starved = tiny.Migrate(fc.program, fc.instance);
+    FUZZ_ASSERT(!starved.ok(),
+                "[%s] migration under a %zu-byte budget succeeded (metered %zu)",
+                fc.label.c_str(), starve_budget, meter.used());
+    FUZZ_ASSERT(starved.status().code() == StatusCode::kResourceExhausted,
+                "[%s] tiny budget surfaced %s, want kResourceExhausted", fc.label.c_str(),
+                starved.status().ToString().c_str());
+  }
+
+  Session ample = MakeSession(fc, 1, /*max_memory_bytes=*/size_t{1} << 34);
+  auto roomy = ample.Migrate(fc.program, fc.instance);
+  FUZZ_ASSERT(roomy.ok(), "[%s] migration under a 16GB budget failed: %s", fc.label.c_str(),
+              roomy.status().ToString().c_str());
+  FUZZ_ASSERT(ForestEquals(baseline.ValueOrDie(), roomy.ValueOrDie()),
+              "[%s] budgeted migration output diverges", fc.label.c_str());
+}
+
+int RunFuzz(const CliOptions& cli) {
+  std::printf("fuzz_differential seed=%" PRIu64 " iterations=%zu threads=%zu\n", cli.seed,
+              cli.iterations, cli.threads);
+  for (size_t i = 0; i < cli.iterations; ++i) {
+    g_iteration = i;
+    Rng rng(cli.seed * 0x9e3779b97f4a7c15ULL + i);
+    if (i % 16 == 5) {
+      RunMemoryGovernanceIteration(&rng);
+    } else {
+      RunDifferentialIteration(&rng, cli.threads);
+    }
+    if ((i + 1) % 25 == 0 || i + 1 == cli.iterations) {
+      std::printf("  %zu/%zu iterations ok\n", i + 1, cli.iterations);
+    }
+  }
+  std::printf("PASS: %zu iterations, seed=%" PRIu64 "\n", cli.iterations, cli.seed);
+  return 0;
+}
+
+/// Smoke matrix: fire every registered site once per kind through a fresh
+/// small pipeline; each stage must come back OK or typed. A fresh case per
+/// combination keeps string interning live (novel strings every run) and
+/// rules out cross-run contamination.
+int RunSmoke(const CliOptions& cli) {
+  std::printf("fuzz_differential --smoke seed=%" PRIu64 "\n", cli.seed);
+  {
+    // Baseline pipeline, threads=4 and a parallel-scale instance, so every
+    // site — including the pool/merge ones — registers before enumeration.
+    Rng rng(cli.seed);
+    FuzzCase fc = MakeProjectionCase(&rng);
+    while (fc.instance.roots.size() < 300) {
+      fc = MakeProjectionCase(&rng);
+    }
+    Session session = MakeSession(fc, 4);
+    Program program;
+    RecordForest output;
+    Status st = RunPipeline(session, fc, &program, &output);
+    FUZZ_ASSERT(st.ok(), "smoke baseline failed: %s", st.ToString().c_str());
+  }
+  const std::vector<std::string> sites = failpoint::KnownSites();
+  std::printf("  %zu registered sites\n", sites.size());
+  static const char* kKinds[] = {"resource", "cancel", "timeout", "badalloc"};
+  uint64_t combo = 0;
+  for (const std::string& site : sites) {
+    for (const char* kind : kKinds) {
+      g_iteration = static_cast<size_t>(combo);
+      // The case is built (and its strings interned) BEFORE arming: below
+      // the pipeline's crash-free boundaries, an injected bad_alloc in raw
+      // value construction would — correctly — escape, and that is not what
+      // this matrix measures.
+      Rng rng(cli.seed ^ (0xabcd0000 + combo++));
+      FuzzCase fc = MakeProjectionCase(&rng);
+      while (fc.instance.roots.size() < 300) {
+        fc = MakeProjectionCase(&rng);
+      }
+      failpoint::DisarmAll();
+      std::string spec = std::string("hit_1:") + kind;
+      Status armed = failpoint::ArmFromString(site, spec);
+      FUZZ_ASSERT(armed.ok(), "ArmFromString(%s, %s): %s", site.c_str(), spec.c_str(),
+                  armed.ToString().c_str());
+      Session session = MakeSession(fc, 4);
+      Program program;
+      RecordForest output;
+      Status st = RunPipeline(session, fc, &program, &output);
+      if (st.ok() && site == "string_pool.intern") {
+        // The pipeline interns nothing novel (all case strings predate the
+        // arming), so this site needs a direct probe. Guarded here because
+        // raw value construction sits below the pipeline boundaries.
+        st = failpoint::GuardExceptions("intern", [&]() -> Status {
+          return Value::TryString("smoke_probe_" + spec + site).status();
+        });
+      }
+      if (!st.ok()) {
+        FUZZ_ASSERT(IsInjectable(st.code()), "%s:%s surfaced untyped failure %s",
+                    site.c_str(), spec.c_str(), st.ToString().c_str());
+      }
+      // A first-hit injection of the default kind must be *observable*: the
+      // pipeline executes every site, so the run either fails typed or the
+      // fault was absorbed by design (a worker-thread fault falls back to
+      // the sequential path and succeeds).
+      if (std::strcmp(kind, "resource") == 0 && site != "thread_pool.worker") {
+        FUZZ_ASSERT(!st.ok(), "%s:%s did not fire (pipeline came back OK)", site.c_str(),
+                    spec.c_str());
+      }
+      std::printf("  %-28s %-8s -> %s\n", site.c_str(), kind,
+                  st.ok() ? "OK (absorbed)" : StatusCodeToString(st.code()));
+    }
+  }
+  failpoint::DisarmAll();
+  std::printf("PASS: smoke matrix, %zu sites x %zu kinds\n", sites.size(),
+              sizeof(kKinds) / sizeof(kKinds[0]));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--iterations=")) {
+      cli.iterations = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--seed=")) {
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--threads=")) {
+      cli.threads = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--smoke") {
+      cli.smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--iterations=N] [--seed=S] [--threads=T] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  g_seed = cli.seed;
+  return cli.smoke ? RunSmoke(cli) : RunFuzz(cli);
+}
+
+}  // namespace
+}  // namespace dynamite
+
+int main(int argc, char** argv) { return dynamite::Main(argc, argv); }
