@@ -11,6 +11,7 @@
 #include "datalog/engine.h"
 #include "migrate/facts.h"
 #include "migrate/migrator.h"
+#include "schema/schema_builder.h"
 #include "solver/fd.h"
 #include "util/failpoint.h"
 #include "synth/mdp.h"
@@ -359,6 +360,57 @@ void BM_EndToEndSynthesisMotivating(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSynthesisMotivating)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizeEndToEnd(benchmark::State& state) {
+  // The synthesis-portfolio headline number (ISSUE 7): enumeration at
+  // synth_threads = 1 vs 4 on a workload where candidate *evaluation* — the
+  // part the portfolio parallelizes — dominates the per-iteration SAT
+  // solve. One target table whose golden rule is the Yelp-1 two-atom join,
+  // over a migration-scale instance: every candidate runs a real join on
+  // thousands of facts (and the two-atom body gives shared-prefix
+  // memoization its batch structure), while the sketch's SAT queries stay
+  // microseconds. Enum mode makes the scout's prediction exact, and
+  // max_iterations caps the run so the measurement is a fixed count of
+  // enumeration steps ending in a deterministic kEvalBudget — bit-identical
+  // at any thread count, so the pair isolates pure portfolio scaling. CI
+  // gates on the 1-vs-4 ratio when the runner has >= 4 cores (see
+  // .github/workflows/ci.yml).
+  const auto* bench = workload::FindBenchmark("Yelp-1");
+  Schema tgt = RelationalSchemaBuilder()
+                   .AddTable("ReviewT", {{"rt_id", PrimitiveType::kInt},
+                                         {"rt_biz", PrimitiveType::kInt},
+                                         {"rt_stars", PrimitiveType::kInt},
+                                         {"rt_user", PrimitiveType::kInt}})
+                   .Build()
+                   .ValueOrDie();
+  Program golden =
+      Program::Parse(
+          "ReviewT(r, b, s, u) :- Business(b, _, _, _, rv, _), Review(rv, r, s, u).")
+          .ValueOrDie();
+  Example example;
+  example.input = workload::GenerateSource(*bench, 7, 200).ValueOrDie();
+  example.output = Migrator(bench->source, tgt).Migrate(golden, example.input).ValueOrDie();
+
+  SynthesisOptions options;
+  options.use_analysis = false;  // Dynamite-Enum: deterministic scout replay
+  options.use_mdp = false;
+  options.max_iterations = 192;
+  options.synth_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Synthesizer synth(bench->source, tgt, options);
+    auto result = synth.Synthesize(example);
+    // The budget is below the solution's enumeration index: every run
+    // measures exactly max_iterations candidate evaluations.
+    if (result.ok() || result.status().code() != StatusCode::kEvalBudget) {
+      state.SkipWithError("expected kEvalBudget");
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(options.max_iterations));
+}
+BENCHMARK(BM_SynthesizeEndToEnd)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 /// Console reporter that additionally records every run into a JsonWriter,
 /// so the perf trajectory lands in BENCH_micro.json (satellite of ISSUE 1).

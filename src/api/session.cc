@@ -39,6 +39,13 @@ Session::Session(Schema source, Schema target, SessionOptions options)
     engine.num_threads = options_.num_threads;
     synth.eval_num_threads = options_.num_threads;
   }
+  // Enumeration portfolio width: the explicit knob wins, else it follows
+  // the session-wide thread count (one knob scales the whole pipeline).
+  if (options_.synth_threads != 0) {
+    synth.synth_threads = options_.synth_threads;
+  } else if (options_.num_threads != 0) {
+    synth.synth_threads = options_.num_threads;
+  }
   migrator_ = std::make_unique<Migrator>(source_, target_, engine);
   synthesizer_ = std::make_unique<Synthesizer>(source_, target_, synth);
 }
@@ -105,6 +112,11 @@ Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
   SynthesisOptions synth = options_.synthesis;
   synth.timeout_seconds = 0;
   if (options_.num_threads != 0) synth.eval_num_threads = options_.num_threads;
+  if (options_.synth_threads != 0) {
+    synth.synth_threads = options_.synth_threads;
+  } else if (options_.num_threads != 0) {
+    synth.synth_threads = options_.num_threads;
+  }
   InteractiveSynthesizer interactive(source_, target_, synth, options_.interactive);
   MemoryBudget local_budget(options_.max_memory_bytes);
   RunContext bounded =

@@ -76,6 +76,16 @@ struct SessionOptions {
   /// internally and their results are bit-identical at any thread count,
   /// so this is purely a throughput knob.
   size_t num_threads = 0;
+  /// Portfolio threads for synthesis candidate *enumeration* (see
+  /// SynthesisOptions::synth_threads — the control plane; num_threads above
+  /// is the data plane within one Datalog evaluation). 0 (default) follows
+  /// num_threads when that is set, else defers to the synthesis-level knob
+  /// (whose own default is "auto": DYNAMITE_NUM_THREADS or sequential); 1
+  /// forces the exact sequential enumeration; > 1 fans candidate
+  /// evaluation across a worker portfolio. The synthesized program, stats,
+  /// and error codes are identical at any value, so like num_threads this
+  /// is purely a throughput knob.
+  size_t synth_threads = 0;
   /// When true, SynthesizeInteractive fails with kAmbiguous if the
   /// validation pool cannot distinguish the remaining candidates (instead
   /// of silently accepting the first). The cheap Synthesize call is

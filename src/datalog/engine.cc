@@ -89,6 +89,31 @@ struct RawAtom {
 /// of plausible size when ordering joins.
 constexpr size_t kIdbCardinality = size_t{1} << 40;
 
+/// Read view over the base EDB plus an optional overlay of extra
+/// extensional relations (EvalWithOverlay — the synthesizer publishes a
+/// shared-prefix join result as an overlay relation). The overlay wins on
+/// name collisions, so a candidate's residual rule always sees the prefix
+/// relation it was built against.
+struct EdbView {
+  const FactDatabase* base = nullptr;
+  const FactDatabase* extra = nullptr;
+
+  Result<const Relation*> Find(const std::string& name) const {
+    if (extra != nullptr) {
+      auto rel = extra->Find(name);
+      if (rel.ok()) return rel;
+    }
+    return base->Find(name);
+  }
+
+  /// True when `name` resolves to the overlay. Overlay relations are
+  /// transient (one batch), so their indexes must stay in the engine's
+  /// private cache rather than a shared frozen-EDB cache.
+  bool IsExtra(const std::string& name) const {
+    return extra != nullptr && extra->Has(name);
+  }
+};
+
 /// Builds the PlanAtom sequence for the given atom order. Key, check, and
 /// bind positions depend on which variables earlier atoms bound, so they are
 /// recomputed per order; slot numbering is shared across plans.
@@ -172,7 +197,7 @@ std::vector<size_t> IdentityOrder(size_t n) {
 /// fixpoint) to replace the kIdbCardinality guess when ordering joins; the
 /// sizes used are recorded in the result's idb_stats for later drift checks.
 Result<CompiledRule> CompileRule(const Rule& rule, const std::set<std::string>& idb,
-                                 const FactDatabase& edb, bool reorder,
+                                 const EdbView& edb, bool reorder,
                                  const std::map<std::string, size_t>* idb_sizes = nullptr) {
   CompiledRule out;
   std::map<std::string, int> var_slot;
@@ -322,7 +347,7 @@ bool CardinalityDrifted(size_t planned, size_t current) {
 
 /// A cached plan is stale when any EDB body relation's cardinality has
 /// drifted ≥4x from the size seen when the join order was chosen.
-bool PlanIsStale(const CompiledRule& rule, const FactDatabase& edb) {
+bool PlanIsStale(const CompiledRule& rule, const EdbView& edb) {
   for (const auto& [name, planned] : rule.edb_stats) {
     auto rel = edb.Find(name);
     size_t current = rel.ok() ? rel.ValueOrDie()->size() : 0;
@@ -356,10 +381,12 @@ class Evaluator {
   /// charge target. `parallel_fallbacks` counts plan evaluations retried
   /// sequentially after a pool-path worker failure.
   Evaluator(const DatalogEngine::Options& options, IndexCache* edb_indexes,
-            const RunContext* ctx, std::function<ThreadPool*()> pool_provider,
-            MemoryBudget* budget, size_t* parallel_fallbacks)
+            SharedIndexCache* shared_edb_indexes, const RunContext* ctx,
+            std::function<ThreadPool*()> pool_provider, MemoryBudget* budget,
+            size_t* parallel_fallbacks)
       : options_(options),
         edb_indexes_(edb_indexes),
+        shared_edb_indexes_(shared_edb_indexes),
         deadline_(Deadline::Earliest(
             Deadline::AfterOrInfinite(options.timeout_seconds),
             ctx != nullptr ? ctx->deadline : Deadline::Infinite())),
@@ -368,7 +395,7 @@ class Evaluator {
         budget_(budget),
         parallel_fallbacks_(parallel_fallbacks) {}
 
-  Status Run(std::vector<std::shared_ptr<CompiledRule>>& rules, const FactDatabase& edb,
+  Status Run(std::vector<std::shared_ptr<CompiledRule>>& rules, const EdbView& edb,
              const std::map<std::string, std::vector<std::string>>& idb_sigs,
              FactDatabase* out, const IdbRefreshFn& refresh_idb) {
     for (const auto& [name, attrs] : idb_sigs) {
@@ -778,7 +805,7 @@ class Evaluator {
 
   Status EvalPlan(const CompiledRule& rule, const JoinPlan& plan,
                   const std::map<std::string, std::pair<size_t, size_t>>& delta,
-                  const FactDatabase& edb, FactDatabase* out) {
+                  const EdbView& edb, FactDatabase* out) {
     DYNAMITE_FAILPOINT("engine.plan.entry");
     // Resolve views and refresh indexes up front: no index is ever built
     // inside the match loop, and IDB indexes only extend over the suffix
@@ -802,8 +829,17 @@ class Evaluator {
       }
       if (v.lo >= v.hi) return Status::OK();  // no matches possible
       if (!pa.key_positions.empty()) {
-        IndexCache& cache = pa.is_idb ? idb_indexes_ : *edb_indexes_;
-        v.index = cache.Get(*v.rel, pa.key_positions);
+        if (pa.is_idb) {
+          v.index = idb_indexes_.Get(*v.rel, pa.key_positions);
+        } else if (shared_edb_indexes_ != nullptr && !edb.IsExtra(pa.relation)) {
+          // Base-EDB index shared with sibling engines (portfolio mode):
+          // the relation is frozen, so the index is built at most once
+          // across all of them. Overlay relations are per-batch — they go
+          // through the engine's own cache below.
+          v.index = shared_edb_indexes_->Get(*v.rel, pa.key_positions);
+        } else {
+          v.index = edb_indexes_->Get(*v.rel, pa.key_positions);
+        }
       }
     }
 
@@ -952,6 +988,7 @@ class Evaluator {
 
   DatalogEngine::Options options_;
   IndexCache* edb_indexes_;   // persistent across Eval calls (engine-owned)
+  SharedIndexCache* shared_edb_indexes_;  // frozen-EDB cache shared across engines (may be null)
   IndexCache idb_indexes_;    // per-Eval: IDB relations are fresh each run
   Deadline deadline_;         // options timeout composed with RunContext
   CancelToken cancel_;
@@ -971,6 +1008,9 @@ class Evaluator {
 /// across Eval calls (see header comment on staleness trade-offs).
 struct DatalogEngine::Caches {
   IndexCache edb_indexes;
+  /// Frozen-EDB index cache shared with sibling engines (the synthesis
+  /// portfolio); null for a standalone engine. See ShareEdbIndexes.
+  std::shared_ptr<SharedIndexCache> shared_edb_indexes;
   /// Entries are mutable (non-const CompiledRule) so a rule's idb_stats can
   /// be recorded after round 0 of its first Eval; the engine is externally
   /// single-threaded, so no locking is needed.
@@ -1021,8 +1061,19 @@ DatalogEngine::~DatalogEngine() = default;
 DatalogEngine::DatalogEngine(DatalogEngine&&) noexcept = default;
 DatalogEngine& DatalogEngine::operator=(DatalogEngine&&) noexcept = default;
 
+void DatalogEngine::ShareEdbIndexes(std::shared_ptr<SharedIndexCache> cache) {
+  caches_->shared_edb_indexes = std::move(cache);
+}
+
 Result<FactDatabase> DatalogEngine::Eval(
     const Program& program, const FactDatabase& edb,
+    const std::map<std::string, std::vector<std::string>>& idb_signatures,
+    const RunContext* ctx) const {
+  return EvalWithOverlay(program, edb, /*extra_edb=*/nullptr, idb_signatures, ctx);
+}
+
+Result<FactDatabase> DatalogEngine::EvalWithOverlay(
+    const Program& program, const FactDatabase& edb, const FactDatabase* extra_edb,
     const std::map<std::string, std::vector<std::string>>& idb_signatures,
     const RunContext* ctx) const {
   // One byte budget per run: the RunContext's if the caller installed one
@@ -1041,15 +1092,16 @@ Result<FactDatabase> DatalogEngine::Eval(
   // from a throwing failpoint site anywhere below becomes a typed Status.
   return failpoint::GuardExceptions(
       "datalog evaluation", [&]() -> Result<FactDatabase> {
-        return EvalImpl(program, edb, idb_signatures, ctx, budget);
+        return EvalImpl(program, edb, extra_edb, idb_signatures, ctx, budget);
       });
 }
 
 Result<FactDatabase> DatalogEngine::EvalImpl(
-    const Program& program, const FactDatabase& edb,
+    const Program& program, const FactDatabase& edb, const FactDatabase* extra_edb,
     const std::map<std::string, std::vector<std::string>>& idb_signatures,
     const RunContext* ctx, MemoryBudget* budget) const {
   DYNAMITE_FAILPOINT("engine.compile");
+  const EdbView view{&edb, extra_edb};
   std::set<std::string> idb;
   std::string idb_key;
   for (const auto& [name, attrs] : idb_signatures) {
@@ -1078,7 +1130,7 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
                                          b.relation);
         }
       } else {
-        DYNAMITE_ASSIGN_OR_RETURN(const Relation* rel, edb.Find(b.relation));
+        DYNAMITE_ASSIGN_OR_RETURN(const Relation* rel, view.Find(b.relation));
         if (rel->arity() != b.terms.size()) {
           return Status::InvalidArgument("arity mismatch for body relation " + b.relation +
                                          " (expected " + std::to_string(rel->arity()) +
@@ -1103,9 +1155,9 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
         // off (the plan would come out identical). The IDB half of the
         // check has to wait for round-0 sizes — see Evaluator::Run and the
         // refresh_idb callback below.
-        if (options_.reorder_joins && PlanIsStale(*it->second, edb)) {
+        if (options_.reorder_joins && PlanIsStale(*it->second, view)) {
           DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
-                                    CompileRule(rule, idb, edb, options_.reorder_joins));
+                                    CompileRule(rule, idb, view, options_.reorder_joins));
           it->second = std::make_shared<CompiledRule>(std::move(cr));
           ++caches_->plan_refreshes;
         }
@@ -1113,14 +1165,14 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
         continue;
       }
       DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
-                                CompileRule(rule, idb, edb, options_.reorder_joins));
+                                CompileRule(rule, idb, view, options_.reorder_joins));
       if (caches_->rules.size() >= Caches::kMaxRules) caches_->rules.clear();
       auto shared = std::make_shared<CompiledRule>(std::move(cr));
       caches_->rules.emplace(std::move(key), shared);
       rules.push_back(std::move(shared));
     } else {
       DYNAMITE_ASSIGN_OR_RETURN(CompiledRule cr,
-                                CompileRule(rule, idb, edb, options_.reorder_joins));
+                                CompileRule(rule, idb, view, options_.reorder_joins));
       rules.push_back(std::make_shared<CompiledRule>(std::move(cr)));
     }
   }
@@ -1133,12 +1185,12 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
   // drift against).
   IdbRefreshFn refresh_idb;
   if (options_.cache_compiled_rules && options_.reorder_joins) {
-    refresh_idb = [this, &program, &idb, &edb, &idb_key](
+    refresh_idb = [this, &program, &idb, view, &idb_key](
                       size_t rule_index, const std::map<std::string, size_t>& idb_sizes)
         -> Result<std::shared_ptr<CompiledRule>> {
       const Rule& rule = program.rules[rule_index];
       DYNAMITE_ASSIGN_OR_RETURN(
-          CompiledRule cr, CompileRule(rule, idb, edb, /*reorder=*/true, &idb_sizes));
+          CompiledRule cr, CompileRule(rule, idb, view, /*reorder=*/true, &idb_sizes));
       auto shared = std::make_shared<CompiledRule>(std::move(cr));
       auto it = caches_->rules.find(RuleCacheKey(rule, idb_key));
       if (it != caches_->rules.end()) it->second = shared;
@@ -1158,10 +1210,11 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
       return caches_->pool.get();
     };
   }
-  Evaluator evaluator(options_, &caches_->edb_indexes, ctx,
+  Evaluator evaluator(options_, &caches_->edb_indexes,
+                      caches_->shared_edb_indexes.get(), ctx,
                       std::move(pool_provider), budget,
                       &caches_->parallel_fallbacks);
-  DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, edb, idb_signatures, &out, refresh_idb));
+  DYNAMITE_RETURN_NOT_OK(evaluator.Run(rules, view, idb_signatures, &out, refresh_idb));
   return out;
 }
 

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -203,6 +204,41 @@ class IndexCache {
   };
 
   std::unordered_map<Key, std::unique_ptr<JoinIndex>, KeyHash> entries_;
+};
+
+/// Thread-safe IndexCache wrapper for *frozen* EDB relations shared across
+/// several engines — the synthesis portfolio's worker engines all evaluate
+/// candidates against the same example instance, so the indexes over it are
+/// built once here instead of once per engine (ISSUE 7).
+///
+/// Freeze contract: every relation resolved through this cache must not be
+/// appended to while any sharing engine may call Get. Get serializes
+/// create/Refresh under the mutex (concurrent getters of a not-yet-built
+/// index block until it is complete); the returned JoinIndex* supports
+/// concurrent Lookup from any thread afterwards, because a frozen relation
+/// means Refresh is a no-op for the cache's remaining lifetime.
+///
+/// Unlike IndexCache there is no eviction: sharing engines hold the
+/// returned pointers across whole plan evaluations with no quiescent point
+/// visible here. The owner (one synthesis call) bounds the lifetime
+/// instead — the cache holds indexes over exactly one example's EDB and is
+/// dropped with the portfolio runtime.
+class SharedIndexCache {
+ public:
+  /// Thread-safe IndexCache::Get over a frozen relation.
+  JoinIndex* Get(const Relation& rel, const std::vector<size_t>& key_positions) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.Get(rel, key_positions);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  IndexCache cache_;
 };
 
 }  // namespace dynamite

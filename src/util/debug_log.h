@@ -1,0 +1,48 @@
+// Mutex-guarded debug logging, gated on the DYNAMITE_DEBUG environment
+// variable. Debug traces used to go straight to fprintf(stderr, ...);
+// with the synthesis portfolio (and the parallel fixpoint) several threads
+// can trace at once, and raw fprintf lines interleave mid-line — and the
+// unsynchronized stream access shows up under TSan. All debug output goes
+// through Logf instead: one process-wide mutex serializes whole lines.
+//
+// Disabled cost is one cached getenv check per call site; this is debug
+// tracing, not a hot-path logging framework.
+
+#ifndef DYNAMITE_UTIL_DEBUG_LOG_H_
+#define DYNAMITE_UTIL_DEBUG_LOG_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dynamite {
+namespace debug_log {
+
+/// True when DYNAMITE_DEBUG is set (checked once per process).
+inline bool Enabled() {
+  static const bool enabled = std::getenv("DYNAMITE_DEBUG") != nullptr;
+  return enabled;
+}
+
+/// printf-style line to stderr under a process-wide mutex; no-op unless
+/// DYNAMITE_DEBUG is set. Callers should format one complete line
+/// (including '\n') per call — the mutex guarantees lines never tear, not
+/// that separate calls stay adjacent.
+inline void Logf(const char* format, ...) {
+  if (!Enabled()) return;
+  static std::mutex mu;
+  std::va_list args;
+  va_start(args, format);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vfprintf(stderr, format, args);
+    std::fflush(stderr);
+  }
+  va_end(args);
+}
+
+}  // namespace debug_log
+}  // namespace dynamite
+
+#endif  // DYNAMITE_UTIL_DEBUG_LOG_H_

@@ -182,9 +182,14 @@ FuzzCase MakeWorkloadCase(Rng* rng) {
   return fc;
 }
 
-Session MakeSession(const FuzzCase& fc, size_t threads, size_t max_memory_bytes = 0) {
+/// `synth_threads` = 0 follows `threads` (the Session default: one knob
+/// scales the whole pipeline, so threads > 1 also turns on the enumeration
+/// portfolio); pass 1 to pin the exact sequential enumeration loop.
+Session MakeSession(const FuzzCase& fc, size_t threads, size_t max_memory_bytes = 0,
+                    size_t synth_threads = 0) {
   SessionOptions so;
   so.num_threads = threads;
+  so.synth_threads = synth_threads;
   so.max_memory_bytes = max_memory_bytes;
   auto session = Session::Create(fc.source, fc.target, so);
   FUZZ_ASSERT(session.ok(), "Session::Create(%s): %s", fc.label.c_str(),
@@ -400,7 +405,14 @@ int RunSmoke(const CliOptions& cli) {
       Status armed = failpoint::ArmFromString(site, spec);
       FUZZ_ASSERT(armed.ok(), "ArmFromString(%s, %s): %s", site.c_str(), spec.c_str(),
                   armed.ToString().c_str());
-      Session session = MakeSession(fc, 4);
+      // Sequential enumeration (synth_threads=1): with the speculation
+      // portfolio on, a worker thread could consume a hit_1 trigger inside
+      // a speculative candidate evaluation whose outcome is then discarded
+      // (by design — non-deterministic outcomes never enter the memo), and
+      // the must-fire assertion below would see a clean pipeline. The
+      // portfolio's own fault path gets a dedicated deterministic section
+      // after this matrix.
+      Session session = MakeSession(fc, 4, 0, /*synth_threads=*/1);
       Program program;
       RecordForest output;
       Status st = RunPipeline(session, fc, &program, &output);
@@ -419,8 +431,11 @@ int RunSmoke(const CliOptions& cli) {
       // A first-hit injection of the default kind must be *observable*: the
       // pipeline executes every site, so the run either fails typed or the
       // fault was absorbed by design (a worker-thread fault falls back to
-      // the sequential path and succeeds).
-      if (std::strcmp(kind, "resource") == 0 && site != "thread_pool.worker") {
+      // the sequential path and succeeds). synth.worker only executes in
+      // portfolio runs (synth_threads > 1), which this matrix pins off —
+      // its degradation contract is asserted in the dedicated section below.
+      if (std::strcmp(kind, "resource") == 0 && site != "thread_pool.worker" &&
+          site != "synth.worker") {
         FUZZ_ASSERT(!st.ok(), "%s:%s did not fire (pipeline came back OK)", site.c_str(),
                     spec.c_str());
       }
@@ -429,6 +444,41 @@ int RunSmoke(const CliOptions& cli) {
     }
   }
   failpoint::DisarmAll();
+
+  // Portfolio degradation: a worker fault of any kind inside the synthesis
+  // portfolio (site synth.worker, which the matrix above pins off) must
+  // degrade to sequential enumeration and synthesize the *identical*
+  // program — never surface an error, never change the result.
+  {
+    Rng rng(cli.seed ^ 0x5717f011);
+    FuzzCase fc = MakeProjectionCase(&rng);
+    Session clean = MakeSession(fc, 4);
+    Program clean_program;
+    RecordForest clean_out;
+    Status st = RunPipeline(clean, fc, &clean_program, &clean_out);
+    FUZZ_ASSERT(st.ok(), "portfolio clean baseline failed: %s", st.ToString().c_str());
+    for (const char* kind : kKinds) {
+      failpoint::DisarmAll();
+      std::string spec = std::string("hit_1:") + kind;
+      Status armed = failpoint::ArmFromString("synth.worker", spec);
+      FUZZ_ASSERT(armed.ok(), "ArmFromString(synth.worker, %s): %s", spec.c_str(),
+                  armed.ToString().c_str());
+      Session session = MakeSession(fc, 4);
+      Program program;
+      RecordForest output;
+      st = RunPipeline(session, fc, &program, &output);
+      FUZZ_ASSERT(st.ok(), "synth.worker:%s did not degrade gracefully: %s", spec.c_str(),
+                  st.ToString().c_str());
+      FUZZ_ASSERT(program == clean_program,
+                  "synth.worker:%s degraded run synthesized a different program:\n%s\nvs\n%s",
+                  spec.c_str(), program.ToString().c_str(), clean_program.ToString().c_str());
+      FUZZ_ASSERT(ForestEquals(output, clean_out),
+                  "synth.worker:%s degraded run migrated a different output", spec.c_str());
+      std::printf("  synth.worker %-8s -> OK (degraded, identical program)\n", kind);
+    }
+    failpoint::DisarmAll();
+  }
+
   std::printf("PASS: smoke matrix, %zu sites x %zu kinds\n", sites.size(),
               sizeof(kKinds) / sizeof(kKinds[0]));
   return 0;
