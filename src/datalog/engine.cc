@@ -2,17 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
 #include "datalog/index.h"
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace dynamite {
@@ -534,8 +533,8 @@ class Evaluator {
     const Deadline* deadline = nullptr;
     const MemoryBudget* memory = nullptr;  // may be null
     std::atomic<bool> stop{false};
-    std::mutex mu;
-    Status status;  // first interruption wins; guarded by mu
+    Mutex mu;
+    Status status DYNAMITE_GUARDED_BY(mu);  // first interruption wins
 
     /// Polled every 1024 per-worker ticks. Cancel outranks timeout outranks
     /// memory, as in the sequential Interrupted().
@@ -557,13 +556,13 @@ class Evaluator {
     }
 
     void Report(Status s) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (status.ok()) status = std::move(s);
       stop.store(true, std::memory_order_relaxed);
     }
 
     Status TakeStatus() {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       return status;
     }
   };

@@ -36,12 +36,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/thread_annotations.h"
 #include "value/relation.h"
 
 namespace dynamite {
@@ -174,6 +174,17 @@ class IndexCache {
     return it->second.get();
   }
 
+  /// The index for (rel, key_positions) iff it exists AND already covers
+  /// every row of `rel`; nullptr otherwise (missing, or in need of a
+  /// Refresh). Const: this is SharedIndexCache's reader-path probe, safe
+  /// under a shared lock concurrently with other readers.
+  const JoinIndex* FindReady(const Relation& rel,
+                             const std::vector<size_t>& key_positions) const {
+    auto it = entries_.find(Key{rel.uid(), key_positions});
+    if (it == entries_.end()) return nullptr;
+    return it->second->indexed_upto() == rel.size() ? it->second.get() : nullptr;
+  }
+
   /// Bounds memory across long synthesizer sessions: a stale uid (destroyed
   /// relation) can never be queried again, so wholesale clearing is safe —
   /// but only between evaluations, when no JoinIndex pointers are live.
@@ -213,10 +224,14 @@ class IndexCache {
 ///
 /// Freeze contract: every relation resolved through this cache must not be
 /// appended to while any sharing engine may call Get. Get serializes
-/// create/Refresh under the mutex (concurrent getters of a not-yet-built
-/// index block until it is complete); the returned JoinIndex* supports
-/// concurrent Lookup from any thread afterwards, because a frozen relation
-/// means Refresh is a no-op for the cache's remaining lifetime.
+/// create/Refresh under the writer half of a reader/writer lock (concurrent
+/// getters of a not-yet-built index block until it is complete); getters of
+/// an already-built index take only the shared half. The returned
+/// JoinIndex* supports concurrent Lookup from any thread afterwards,
+/// because a frozen relation means Refresh is a no-op for the cache's
+/// remaining lifetime — which is also what makes the read-only contract
+/// annotatable: the cache is DYNAMITE_GUARDED_BY the lock, and everything
+/// handed out past it is const.
 ///
 /// Unlike IndexCache there is no eviction: sharing engines hold the
 /// returned pointers across whole plan evaluations with no quiescent point
@@ -225,20 +240,35 @@ class IndexCache {
 /// dropped with the portfolio runtime.
 class SharedIndexCache {
  public:
-  /// Thread-safe IndexCache::Get over a frozen relation.
-  JoinIndex* Get(const Relation& rel, const std::vector<size_t>& key_positions) {
-    std::lock_guard<std::mutex> lock(mu_);
+  /// Thread-safe IndexCache::Get over a frozen relation. Steady state — the
+  /// index is already built and covers the (frozen) relation — is a shared
+  /// lock plus one const map probe, so concurrent portfolio workers never
+  /// serialize against each other once warm; only the first getter of each
+  /// index takes the exclusive lock to build it.
+  const JoinIndex* Get(const Relation& rel,
+                       const std::vector<size_t>& key_positions) {
+    {
+      SharedMutexLock read_lock(mu_);
+      if (const JoinIndex* ready = cache_.FindReady(rel, key_positions)) {
+        return ready;
+      }
+    }
+    // Not built yet: build under the writer lock. Re-entering Get (rather
+    // than probing again) is correct because IndexCache::Get is idempotent;
+    // concurrent getters of the same index serialize here and all but the
+    // first see Refresh no-op.
+    SharedMutexExclusiveLock write_lock(mu_);
     return cache_.Get(rel, key_positions);
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    SharedMutexLock lock(mu_);
     return cache_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  IndexCache cache_;
+  mutable SharedMutex mu_;
+  IndexCache cache_ DYNAMITE_GUARDED_BY(mu_);
 };
 
 }  // namespace dynamite

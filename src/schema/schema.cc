@@ -1,6 +1,6 @@
 #include "schema/schema.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace dynamite {
 
@@ -114,12 +114,12 @@ bool Schema::IsRecord(const std::string& name) const {
 }
 
 PrimitiveType Schema::PrimitiveOf(const std::string& name) const {
-  assert(IsPrimitive(name));
+  DYNAMITE_CHECK(IsPrimitive(name), "PrimitiveOf on a non-primitive");
   return defs_.at(name).prim;
 }
 
 const std::vector<std::string>& Schema::AttrsOf(const std::string& name) const {
-  assert(IsRecord(name));
+  DYNAMITE_CHECK(IsRecord(name), "AttrsOf on a non-record");
   return defs_.at(name).attrs;
 }
 
@@ -131,7 +131,7 @@ std::optional<std::string> Schema::Parent(const std::string& name) const {
 
 const std::string& Schema::RecName(const std::string& attr) const {
   auto it = parent_.find(attr);
-  assert(it != parent_.end());
+  DYNAMITE_CHECK(it != parent_.end(), "RecName on an unattached attribute");
   return it->second;
 }
 

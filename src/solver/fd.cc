@@ -1,7 +1,8 @@
 #include "solver/fd.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace dynamite {
 
@@ -87,12 +88,13 @@ std::string FdExpr::ToString() const {
 }
 
 FdVar FdSolver::NewVar(std::string name, std::vector<int64_t> domain) {
-  assert(!domain.empty());
+  DYNAMITE_CHECK(!domain.empty());
   VarInfo info;
   info.name = std::move(name);
   info.domain = std::move(domain);
   for (size_t i = 0; i < info.domain.size(); ++i) {
-    assert(info.value_index.count(info.domain[i]) == 0 && "duplicate domain value");
+    DYNAMITE_DCHECK(info.value_index.count(info.domain[i]) == 0,
+                    "duplicate domain value");
     info.value_index[info.domain[i]] = static_cast<int>(i);
     info.selectors.push_back(sat_.NewVar());
   }
@@ -258,7 +260,7 @@ int64_t FdSolver::ModelValue(FdVar v) const {
   for (size_t i = 0; i < info.selectors.size(); ++i) {
     if (sat_.ModelValue(info.selectors[i])) return info.domain[i];
   }
-  assert(false && "no selector true in model");
+  DYNAMITE_CHECK(false, "no selector true in model");
   return info.domain[0];
 }
 

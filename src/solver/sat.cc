@@ -1,7 +1,6 @@
 #include "solver/sat.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "util/check.h"
@@ -125,13 +124,13 @@ bool SatSolver::AddClause(std::vector<Lit> lits) {
 
 void SatSolver::AttachClause(int ci) {
   const Clause& c = clauses_[static_cast<size_t>(ci)];
-  assert(c.lits.size() >= 2);
+  DYNAMITE_DCHECK(c.lits.size() >= 2);
   watches_[static_cast<size_t>(Negate(c.lits[0]).x)].push_back(Watcher{ci, c.lits[1]});
   watches_[static_cast<size_t>(Negate(c.lits[1]).x)].push_back(Watcher{ci, c.lits[0]});
 }
 
 void SatSolver::Enqueue(Lit l, int reason) {
-  assert(ValueLit(l) == LBool::kUndef);
+  DYNAMITE_DCHECK(ValueLit(l) == LBool::kUndef);
   assigns_[static_cast<size_t>(VarOf(l))] = SignOf(l) ? LBool::kFalse : LBool::kTrue;
   level_[static_cast<size_t>(VarOf(l))] = DecisionLevel();
   reason_[static_cast<size_t>(VarOf(l))] = reason;
@@ -154,7 +153,7 @@ int SatSolver::Propagate() {
       // Ensure c.lits[1] is the false literal (¬p).
       Lit false_lit = Negate(p);
       if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      assert(c.lits[1] == false_lit);
+      DYNAMITE_DCHECK(c.lits[1] == false_lit);
       // If first literal is true, clause is satisfied.
       if (ValueLit(c.lits[0]) == LBool::kTrue) {
         ws[j++] = Watcher{w.clause, c.lits[0]};

@@ -1,6 +1,5 @@
 #include "synth/sketch.h"
 
-#include <cassert>
 
 namespace dynamite {
 

@@ -1,7 +1,6 @@
 #include "synth/sketch_gen.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace dynamite {
 

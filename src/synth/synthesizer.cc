@@ -34,6 +34,12 @@ namespace {
 /// `iterations` never decreases, and with concurrent reporters (or the
 /// baseline reset in SynthesizeDistinct) a raw (done + rule) sum can be
 /// observed out of order.
+/// Concurrency contract (ISSUE 8): the two counters are atomics (CAS floor
+/// + relaxed adds — a protocol Clang's thread-safety analysis cannot model,
+/// so there is no capability to declare); `space_known` and `timer` are
+/// written only from the canonical enumeration thread, with the portfolio
+/// pool's Run() barrier ordering worker reads. TSan covers the dynamic
+/// side in CI.
 struct ProgressTracker {
   const RunContext* ctx = nullptr;
   Timer timer;
@@ -494,7 +500,11 @@ class RuleSynthesizer {
       }
     }
 
-    // Phase B: candidates, claimed in enumeration order. `success_floor`
+    // Phase B: candidates, claimed in enumeration order. Workers write
+    // disjoint slots[i] (each index is claimed exactly once off next_cand)
+    // and the pool's Run() join publishes them to this thread — the
+    // lock-free handoff the annotation layer documents but cannot check.
+    // `success_floor`
     // is the lowest index already known to reproduce the expected output:
     // later candidates are dead enumeration branches (the canonical loop
     // stops at the success), so workers skip them. Skipped candidates are
@@ -657,7 +667,11 @@ class RuleSynthesizer {
   bool have_last_success_ = false;
   /// Persistent speculation scout (see SpeculateBatch). `scout_next_` is
   /// the first model the scout has not yet handed to a batch; valid only
-  /// while scout_ready_.
+  /// while scout_ready_. Canonical-thread-only state: the scout solves and
+  /// advances before any worker is dispatched, and workers receive
+  /// already-instantiated candidates by value — the scout/replay handoff
+  /// needs no lock because the pool's Run() dispatch/join is the only
+  /// publication point (nothing here for the annotations to guard).
   FdSolver scout_;
   SketchModel scout_next_;
   bool scout_ready_ = false;

@@ -8,6 +8,13 @@
 // Cancellation is cooperative: the pipeline polls at every budgeted loop
 // (candidate enumeration, engine ticks, MDP expansions, interactive rounds)
 // and unwinds with ErrorCode::kCancelled.
+//
+// Concurrency contract (compile-time annotations layer, ISSUE 8): this
+// component holds no capabilities — all shared state is one std::atomic
+// flag behind a shared_ptr, and atomics are outside what Clang's
+// thread-safety analysis models. There is deliberately nothing here for
+// DYNAMITE_GUARDED_BY to guard; the relaxed-ordering protocol is the whole
+// contract and is exercised dynamically by the TSan CI job.
 
 #ifndef DYNAMITE_UTIL_CANCEL_H_
 #define DYNAMITE_UTIL_CANCEL_H_

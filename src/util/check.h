@@ -17,18 +17,21 @@
 #ifndef DYNAMITE_UTIL_CHECK_H_
 #define DYNAMITE_UTIL_CHECK_H_
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "util/debug_log.h"
 
 namespace dynamite {
 namespace internal {
 
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* condition, const char* msg) {
-  std::fprintf(stderr, "DYNAMITE_CHECK failed at %s:%d: %s%s%s\n", file, line,
-               condition, (msg != nullptr && msg[0] != '\0') ? " — " : "",
-               msg != nullptr ? msg : "");
-  std::fflush(stderr);
+  // Through the process-wide stream mutex (debug_log::Errorf): a check can
+  // fail on any thread, and the diagnostic must not tear through whatever
+  // another thread is tracing while we abort.
+  debug_log::Errorf("DYNAMITE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+                    condition, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+                    msg != nullptr ? msg : "");
   std::abort();
 }
 

@@ -1,11 +1,12 @@
 #include "util/failpoint.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
+
+#include "util/debug_log.h"
+#include "util/thread_annotations.h"
 
 namespace dynamite {
 namespace failpoint {
@@ -132,7 +133,7 @@ class Registry {
   }
 
   void Register(Site* site) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     sites_.emplace(site->name_, site);
     auto it = pending_.find(site->name_);
     if (it != pending_.end()) {
@@ -141,12 +142,12 @@ class Registry {
   }
 
   void Arm(const std::string& name, Spec spec) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ArmLocked(name, spec);
   }
 
   void Disarm(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.erase(name);
     auto [lo, hi] = sites_.equal_range(name);
     for (auto it = lo; it != hi; ++it) {
@@ -155,7 +156,7 @@ class Registry {
   }
 
   void DisarmAll() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending_.clear();
     for (auto& [name, site] : sites_) {
       site->spec_.store(nullptr, std::memory_order_release);
@@ -163,7 +164,7 @@ class Registry {
   }
 
   std::vector<std::string> KnownSites() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::set<std::string> names;
     for (auto& [name, site] : sites_) names.insert(name);
     return std::vector<std::string>(names.begin(), names.end());
@@ -180,16 +181,17 @@ class Registry {
       if (!st.ok()) {
         // Diagnose typos loudly: a silently ignored failpoint spec makes a
         // fault-injection CI run vacuously green.
-        std::fprintf(stderr, "DYNAMITE_FAILPOINTS: %s\n",
-                     st.ToString().c_str());
+        debug_log::Errorf("DYNAMITE_FAILPOINTS: %s\n",
+                          st.ToString().c_str());
         std::abort();
       }
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       for (auto& [name, spec] : specs) ArmLocked(name, spec);
     }
   }
 
-  void ArmLocked(const std::string& name, Spec spec) {
+  void ArmLocked(const std::string& name, Spec spec)
+      DYNAMITE_REQUIRES(mu_) {
     auto owned = std::make_unique<const Spec>(spec);
     const Spec* raw = owned.get();
     retired_.push_back(std::move(owned));
@@ -201,10 +203,10 @@ class Registry {
     }
   }
 
-  std::mutex mu_;
-  std::multimap<std::string, Site*> sites_;
-  std::map<std::string, const Spec*> pending_;
-  std::vector<std::unique_ptr<const Spec>> retired_;
+  Mutex mu_;
+  std::multimap<std::string, Site*> sites_ DYNAMITE_GUARDED_BY(mu_);
+  std::map<std::string, const Spec*> pending_ DYNAMITE_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<const Spec>> retired_ DYNAMITE_GUARDED_BY(mu_);
 };
 
 Site::Site(const char* name) : name_(name) {

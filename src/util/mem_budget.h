@@ -36,7 +36,11 @@
 
 namespace dynamite {
 
-/// Byte accounting with a sticky exhaustion latch. Thread-safe.
+/// Byte accounting with a sticky exhaustion latch. Thread-safe with no
+/// capabilities to annotate (ISSUE 8): both fields are atomics on a
+/// fetch_add/relaxed-flag protocol — invisible to Clang's thread-safety
+/// analysis by design, covered by the TSan job instead. The thread-local
+/// Current() installation is single-thread state, not shared.
 class MemoryBudget {
  public:
   /// `limit_bytes` == 0 means unlimited (accounting still runs, the latch

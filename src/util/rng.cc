@@ -1,6 +1,6 @@
 #include "util/rng.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace dynamite {
 
@@ -33,7 +33,7 @@ uint64_t Rng::Next() {
 }
 
 uint64_t Rng::NextBelow(uint64_t bound) {
-  assert(bound > 0);
+  DYNAMITE_CHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
   uint64_t threshold = (0 - bound) % bound;
   for (;;) {
@@ -43,7 +43,7 @@ uint64_t Rng::NextBelow(uint64_t bound) {
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  DYNAMITE_CHECK(lo <= hi);
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(span == 0 ? Next() : NextBelow(span));
 }
@@ -63,7 +63,7 @@ std::string Rng::NextIdent(size_t length) {
 }
 
 std::vector<size_t> Rng::SampleIndices(size_t n, size_t k) {
-  assert(k <= n);
+  DYNAMITE_CHECK(k <= n);
   std::vector<size_t> all(n);
   for (size_t i = 0; i < n; ++i) all[i] = i;
   // Partial Fisher-Yates: first k positions become the sample.

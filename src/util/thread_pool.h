@@ -28,17 +28,16 @@
 #ifndef DYNAMITE_UTIL_THREAD_POOL_H_
 #define DYNAMITE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace dynamite {
 
@@ -59,10 +58,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutdown_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& t : threads_) t.join();
   }
 
@@ -79,7 +78,7 @@ class ThreadPool {
   /// a failing worker never tears down its siblings mid-chunk.
   Status Run(const std::function<void(size_t)>& fn) {
     {
-      std::lock_guard<std::mutex> lock(fail_mu_);
+      MutexLock lock(fail_mu_);
       first_failure_ = Status::OK();
       failure_count_ = 0;
     }
@@ -91,16 +90,16 @@ class ThreadPool {
       return TakeFailure();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &wrapped;
       ++generation_;
       remaining_ = threads_.size();
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     wrapped(0);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_.wait(lock, [this] { return remaining_ == 0; });
+      MutexLock lock(mu_);
+      while (remaining_ != 0) done_.Wait(lock);
       job_ = nullptr;
     }
     return TakeFailure();
@@ -124,12 +123,12 @@ class ThreadPool {
   }
 
   void Capture(Status status) {
-    std::lock_guard<std::mutex> lock(fail_mu_);
+    MutexLock lock(fail_mu_);
     if (failure_count_++ == 0) first_failure_ = std::move(status);
   }
 
   Status TakeFailure() {
-    std::lock_guard<std::mutex> lock(fail_mu_);
+    MutexLock lock(fail_mu_);
     if (failure_count_ <= 1) return first_failure_;
     return Status(first_failure_.code(),
                   first_failure_.message() + " (and " +
@@ -142,32 +141,39 @@ class ThreadPool {
     for (;;) {
       const std::function<void(size_t)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        MutexLock lock(mu_);
+        while (!shutdown_ && generation_ == seen) wake_.Wait(lock);
         if (shutdown_) return;
         seen = generation_;
         job = job_;
       }
       (*job)(worker_index);
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--remaining_ == 0) done_.notify_one();
+        MutexLock lock(mu_);
+        if (--remaining_ == 0) done_.NotifyOne();
       }
     }
   }
 
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable done_;
-  const std::function<void(size_t)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  size_t remaining_ = 0;
-  bool shutdown_ = false;
 
-  std::mutex fail_mu_;
-  Status first_failure_;
-  size_t failure_count_ = 0;
+  /// Dispatch protocol. mu_ and fail_mu_ are never held together; the job
+  /// pointer is only dereferenced by a worker after observing its
+  /// generation bump under mu_, and Run keeps `wrapped` alive until
+  /// remaining_ returns to 0 under the same lock.
+  Mutex mu_;
+  CondVar wake_;
+  CondVar done_;
+  const std::function<void(size_t)>* job_ DYNAMITE_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ DYNAMITE_GUARDED_BY(mu_) = 0;
+  size_t remaining_ DYNAMITE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ DYNAMITE_GUARDED_BY(mu_) = false;
+
+  /// Failure capture, deliberately separate from dispatch: Capture runs
+  /// inside worker callbacks while Run's caller may be blocked on done_.
+  Mutex fail_mu_;
+  Status first_failure_ DYNAMITE_GUARDED_BY(fail_mu_);
+  size_t failure_count_ DYNAMITE_GUARDED_BY(fail_mu_) = 0;
 };
 
 }  // namespace dynamite

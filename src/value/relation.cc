@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <utility>
 
 #include "util/check.h"
@@ -15,6 +14,9 @@ namespace dynamite {
 namespace {
 
 uint64_t NextUid() {
+  // Lock-free uid allocation: the only cross-thread state in this file.
+  // Relations themselves are externally synchronized (append-frozen during
+  // parallel matching; see the engine's freeze contract in index.h).
   static std::atomic<uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }

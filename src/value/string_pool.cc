@@ -1,9 +1,9 @@
 #include "value/string_pool.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <functional>
 
+#include "util/debug_log.h"
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/mem_budget.h"
@@ -32,13 +32,14 @@ uint32_t StringPool::Intern(std::string_view s) {
   if (id.ok()) return id.ValueOrDie();
   // Fail fast: a truncated/aliased id would silently corrupt every Value
   // comparison from here on, and Value::String has no error channel.
-  std::fprintf(stderr, "StringPool::Intern: %s\n", id.status().ToString().c_str());
+  debug_log::Errorf("StringPool::Intern: %s\n",
+                    id.status().ToString().c_str());
   std::abort();
 }
 
 Result<uint32_t> StringPool::TryIntern(std::string_view s) {
   Shard& shard = ShardFor(s);
-  std::lock_guard<std::mutex> shard_lock(shard.mu);
+  MutexLock shard_lock(shard.mu);
   auto it = shard.ids.find(s);
   if (it != shard.ids.end()) return it->second;
 
@@ -56,7 +57,7 @@ Result<uint32_t> StringPool::TryIntern(std::string_view s) {
   const std::string* stored;
   uint32_t id;
   {
-    std::lock_guard<std::mutex> append_lock(append_mu_);
+    MutexLock append_lock(append_mu_);
     uint32_t n = size_.load(std::memory_order_relaxed);
     if (n >= max_strings_) {
       return Status::OutOfRange(

@@ -39,12 +39,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace dynamite {
 
@@ -102,9 +102,9 @@ class StringPool {
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Keys are views into chunk storage (stable; see above).
-    std::unordered_map<std::string_view, uint32_t> ids;
+    std::unordered_map<std::string_view, uint32_t> ids DYNAMITE_GUARDED_BY(mu);
   };
 
   static void Locate(uint32_t id, size_t* chunk, size_t* offset) {
@@ -123,8 +123,17 @@ class StringPool {
   Shard& ShardFor(std::string_view s);
 
   Shard shards_[kNumShards];
-  /// Guards id assignment and chunk allocation (not lookups).
-  std::mutex append_mu_;
+  /// Guards id assignment and chunk allocation (not lookups). Lock order:
+  /// a Shard's mu is always acquired BEFORE append_mu_ (TryIntern holds its
+  /// shard across the append), never the reverse.
+  Mutex append_mu_;
+  /// Chunk pointers and the published-string count are atomics, not
+  /// GUARDED_BY members: writers mutate them under append_mu_, but readers
+  /// (Get, size) are lock-free by contract and synchronize through the
+  /// release store of size_ / each chunk pointer against the matching
+  /// acquire loads — a protocol the thread-safety analysis cannot express
+  /// (it has no notion of happens-before through atomics), so it is
+  /// documented here and checked dynamically by the TSan CI job.
   std::atomic<std::string*> chunks_[kNumChunks] = {};
   std::atomic<uint32_t> size_{0};
   const uint32_t max_strings_;

@@ -1,9 +1,8 @@
 #include "workload/benchmarks.h"
 
-#include <cassert>
-
 #include "migrate/migrator.h"
 #include "schema/schema_builder.h"
+#include "util/check.h"
 #include "util/failpoint.h"
 #include "workload/families.h"
 
@@ -30,7 +29,7 @@ Benchmark Make(const std::string& name, const std::string& family, char target_k
   b.source = f.schema;
   b.target = std::move(target);
   auto parsed = Program::Parse(golden_text);
-  assert(parsed.ok() && "golden program must parse");
+  DYNAMITE_CHECK(parsed.ok(), "golden program must parse");
   b.golden = std::move(parsed).ValueOrDie();
   b.example_scale = example_scale;
   b.example_seed = example_seed;

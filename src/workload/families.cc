@@ -1,8 +1,7 @@
 #include "workload/families.h"
 
-#include <cassert>
-
 #include "schema/schema_builder.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "workload/datagen.h"
 
@@ -669,7 +668,7 @@ const Family& GetFamily(const std::string& name) {
   for (const Family& f : AllFamilies()) {
     if (f.name == name) return f;
   }
-  assert(false && "unknown family");
+  DYNAMITE_CHECK(false, "unknown family");
   return AllFamilies()[0];
 }
 

@@ -1,0 +1,61 @@
+# Negative-compilation harness for the thread-safety annotations (ISSUE 8).
+# Included from the root CMakeLists.txt at configure time, only when the
+# compiler is Clang (the analysis is Clang-only; under GCC the macros are
+# no-ops and there is nothing to test).
+#
+# Three assertions, each a FATAL_ERROR on failure so rot can never land:
+#
+#   1. good.cc compiles WITH -Wthread-safety -Werror=thread-safety
+#      (positive control: the harness itself works and correct code passes).
+#   2. Each bad_*.cc compiles WITHOUT the flags (proves the seeded violation
+#      is the only reason the next step fails — not a stray syntax error,
+#      which would give false confidence forever).
+#   3. Each bad_*.cc does NOT compile WITH the flags (the seeded
+#      GUARDED_BY / missing-REQUIRES violation is a hard build error, i.e.
+#      the annotation layer still has teeth).
+
+set(_annot_dir ${CMAKE_CURRENT_SOURCE_DIR}/tests/annotations_compile)
+set(_annot_base_flags "-std=c++17 -I${CMAKE_CURRENT_SOURCE_DIR}/src")
+set(_annot_ts_flags "${_annot_base_flags} -Wthread-safety -Werror=thread-safety")
+
+# try_compile wrapper: compiles `src` with `flags`, sets `out_var` to the
+# result and _annot_log to the compiler output (for the failure message).
+function(_dynamite_annot_try out_var src flags)
+  try_compile(
+    _result
+    ${CMAKE_CURRENT_BINARY_DIR}/annotations_compile_check
+    ${src}
+    CMAKE_FLAGS "-DCMAKE_CXX_FLAGS=${flags}"
+    OUTPUT_VARIABLE _log)
+  set(${out_var} ${_result} PARENT_SCOPE)
+  set(_annot_log "${_log}" PARENT_SCOPE)
+endfunction()
+
+_dynamite_annot_try(_good_ok ${_annot_dir}/good.cc "${_annot_ts_flags}")
+if(NOT _good_ok)
+  message(FATAL_ERROR
+    "thread-safety harness: good.cc failed to compile under -Wthread-safety; "
+    "correct annotated code must pass the analysis. Compiler output:\n"
+    "${_annot_log}")
+endif()
+
+foreach(_bad bad_guarded_by bad_missing_requires)
+  _dynamite_annot_try(_plain_ok ${_annot_dir}/${_bad}.cc "${_annot_base_flags}")
+  if(NOT _plain_ok)
+    message(FATAL_ERROR
+      "thread-safety harness: ${_bad}.cc failed to compile even WITHOUT "
+      "-Wthread-safety — the seeded violation has rotted into a plain "
+      "compile error and no longer tests the analysis. Compiler output:\n"
+      "${_annot_log}")
+  endif()
+  _dynamite_annot_try(_ts_ok ${_annot_dir}/${_bad}.cc "${_annot_ts_flags}")
+  if(_ts_ok)
+    message(FATAL_ERROR
+      "thread-safety harness: ${_bad}.cc COMPILED under -Werror=thread-safety "
+      "— the seeded violation was not diagnosed, so the annotation layer is "
+      "no longer enforcing anything (macro definitions rotted to no-ops?).")
+  endif()
+endforeach()
+
+message(STATUS "Thread-safety annotation checks passed "
+               "(good compiles; seeded violations rejected)")

@@ -1,0 +1,33 @@
+// Seeded violation #1 for the negative-compilation harness: reads a
+// DYNAMITE_GUARDED_BY field without holding its mutex. MUST fail to compile
+// under -Wthread-safety -Werror=thread-safety (and MUST compile without the
+// flag, proving the failure comes from the analysis, not a syntax error).
+// If this file ever compiles under the flag, the annotation layer has
+// rotted into no-ops and the configure step aborts the build.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dynamite::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (intentional): unguarded read of value_.
+  int RacyRead() { return value_; }
+
+ private:
+  dynamite::Mutex mu_;
+  int value_ DYNAMITE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.RacyRead() == 1 ? 0 : 1;
+}

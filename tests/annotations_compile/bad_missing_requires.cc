@@ -1,0 +1,34 @@
+// Seeded violation #2 for the negative-compilation harness: calls a
+// DYNAMITE_REQUIRES(mu_) function without holding mu_. MUST fail to compile
+// under -Wthread-safety -Werror=thread-safety (and MUST compile without the
+// flag — see bad_guarded_by.cc for the rot-detection rationale).
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dynamite::MutexLock lock(mu_);
+    AddLocked(1);
+  }
+
+  // BUG (intentional): AddLocked requires mu_, which is not held here.
+  void RacyIncrement() { AddLocked(1); }
+
+ private:
+  void AddLocked(int delta) DYNAMITE_REQUIRES(mu_) { value_ += delta; }
+
+  dynamite::Mutex mu_;
+  int value_ DYNAMITE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  c.RacyIncrement();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Positive control for the negative-compilation harness
+// (tests/annotations_compile/CheckAnnotations.cmake): correct use of the
+// annotated primitives — every GUARDED_BY field accessed under its mutex,
+// every REQUIRES function called with the capability held. Must compile
+// cleanly under -Wthread-safety -Werror=thread-safety; if this file fails,
+// the harness (not the annotations) is broken.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dynamite::MutexLock lock(mu_);
+    AddLocked(1);
+  }
+
+  int Read() {
+    dynamite::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void AddLocked(int delta) DYNAMITE_REQUIRES(mu_) { value_ += delta; }
+
+  dynamite::Mutex mu_;
+  int value_ DYNAMITE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read() == 1 ? 0 : 1;
+}
