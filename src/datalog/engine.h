@@ -95,6 +95,16 @@ class DatalogEngine {
     /// MemoryBudget (a Session run), that budget is charged instead and
     /// this knob is ignored — one budget per run, not per stage.
     size_t max_memory_bytes = 0;
+    /// Block size (rows) for the vectorized matcher: the first-atom scan is
+    /// processed in blocks of this many rows — constant/bound columns are
+    /// filtered over whole column slices into a selection vector, key
+    /// columns of the next atom are gathered and batch-probed against its
+    /// join index (JoinIndex::LookupBatch) — before candidates flow through
+    /// the scalar emit path. 0 (the default) means "auto" (currently 1024).
+    /// 1 selects the exact row-at-a-time scalar path. Results are
+    /// bit-identical for every value: blocking changes memory-access order,
+    /// never candidate visit order.
+    size_t probe_block_rows = 0;
   };
 
   /// Counters accumulated across Eval calls on this engine. Deterministic:
@@ -165,6 +175,12 @@ class DatalogEngine {
 
   /// Snapshot of the engine's cumulative counters (see Stats).
   Stats stats() const;
+
+  /// The *resolved* worker-thread count: Options::num_threads after the
+  /// constructor applied the "0 = auto" rule (DYNAMITE_NUM_THREADS, else
+  /// sequential). Always >= 1. Lets co-operating components (the migrator's
+  /// sharded ingest) size their parallelism to match the engine's.
+  size_t num_threads() const { return options_.num_threads; }
 
  private:
   /// Eval minus the crash-free boundary: Eval resolves the run's

@@ -42,6 +42,7 @@
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 #include "value/relation.h"
 
 namespace dynamite {
@@ -55,20 +56,43 @@ class JoinIndex {
 
   /// Indexes rows [indexed_upto, rel.size()); no-op when up to date.
   /// `rel` must be the same logical relation on every call.
-  void Refresh(const Relation& rel) {
+  ///
+  /// With a non-null `pool` and a large enough unindexed suffix, key hashing
+  /// — the scan-heavy half of a refresh — is chunked across the pool before
+  /// the (serial) table insertion replays the precomputed hashes in row
+  /// order. The resulting index is bit-identical to a sequential Refresh:
+  /// insertion order, group numbering, and posting lists depend only on the
+  /// hashes, which are deterministic per row. A pool failure (injected or
+  /// real) silently falls back to hashing inline.
+  void Refresh(const Relation& rel, ThreadPool* pool = nullptr) {
     size_t n = rel.size();
-    if (n > indexed_upto_) {
+    size_t start = indexed_upto_;
+    if (n > start) {
       // Posting-list growth: one uint32_t per newly indexed row (group
       // structs are charged as they appear below). Refresh has no Status
       // channel; exhaustion is observed at the engine's next poll.
-      MemoryBudget::ChargeCurrent((n - indexed_upto_) * sizeof(uint32_t));
+      MemoryBudget::ChargeCurrent((n - start) * sizeof(uint32_t));
       DYNAMITE_FAILPOINT_THROW("engine.index.refresh");
     }
-    for (size_t i = indexed_upto_; i < n; ++i) {
+    std::vector<size_t> hashes;
+    bool have_hashes = false;
+    if (pool != nullptr && n - start >= kParallelHashMinRows) {
+      MemoryBudget::ChargeCurrent((n - start) * sizeof(size_t));
+      hashes.resize(n - start);
+      size_t workers = pool->num_workers();
+      size_t count = n - start;
+      Status st = pool->Run([&](size_t w) {
+        size_t lo = start + count * w / workers;
+        size_t hi = start + count * (w + 1) / workers;
+        for (size_t i = lo; i < hi; ++i) hashes[i - start] = HashRowKey(rel, i);
+      });
+      have_hashes = st.ok();
+    }
+    for (size_t i = start; i < n; ++i) {
       if (groups_.size() * 4 + 4 > group_slots_.size() * 3) {
         Regrow(group_slots_.empty() ? 16 : group_slots_.size() * 2);
       }
-      size_t h = HashRowKey(rel, i);
+      size_t h = have_hashes ? hashes[i - start] : HashRowKey(rel, i);
       size_t mask = group_slots_.size() - 1;
       size_t s = h & mask;
       while (group_slots_[s] != kEmptySlot) {
@@ -104,8 +128,54 @@ class JoinIndex {
     return nullptr;
   }
 
+  /// Multi-probe: Lookup for `count` keys at once, writing one posting-list
+  /// pointer (or nullptr) per key into `out[0..count)`. Keys are row-major:
+  /// key i occupies `keys[i*key_arity .. (i+1)*key_arity)` and `key_arity`
+  /// must equal key_positions().size(). `hash_scratch` is caller-provided
+  /// storage for `count` hashes, so a hot loop reuses one buffer.
+  ///
+  /// Equivalent to `count` Lookup calls — same results in the same slots —
+  /// but amortizes the open-addressing walk: all key hashes are computed
+  /// first, every key's home slot is prefetched, and only then are the
+  /// probes resolved, so the dependent cache misses of consecutive lookups
+  /// overlap instead of serializing. Const and concurrent-safe like Lookup.
+  void LookupBatch(const Relation& rel, const Value* keys, size_t key_arity,
+                   size_t count, size_t* hash_scratch,
+                   const std::vector<uint32_t>** out) const {
+    if (group_slots_.empty()) {
+      for (size_t i = 0; i < count; ++i) out[i] = nullptr;
+      return;
+    }
+    size_t mask = group_slots_.size() - 1;
+    for (size_t i = 0; i < count; ++i) {
+      hash_scratch[i] = HashValueRange(keys + i * key_arity, key_arity);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      __builtin_prefetch(&group_slots_[hash_scratch[i] & mask]);
+    }
+    for (size_t i = 0; i < count; ++i) {
+      size_t seed = hash_scratch[i];
+      size_t s = seed & mask;
+      const Value* key = keys + i * key_arity;
+      out[i] = nullptr;
+      while (group_slots_[s] != kEmptySlot) {
+        const Group& g = groups_[group_slots_[s]];
+        if (g.hash == seed && KeysEqualValues(rel, g.head_row, key)) {
+          out[i] = &g.rows;
+          break;
+        }
+        s = (s + 1) & mask;
+      }
+    }
+  }
+
   size_t indexed_upto() const { return indexed_upto_; }
   const std::vector<size_t>& key_positions() const { return key_positions_; }
+
+  /// Unindexed-suffix size below which Refresh hashes inline even when
+  /// handed a pool: chunk dispatch costs more than the hashing it saves.
+  /// Public so callers can gate pool acquisition on the same threshold.
+  static constexpr size_t kParallelHashMinRows = 4096;
 
  private:
   static constexpr uint32_t kEmptySlot = UINT32_MAX;
@@ -163,14 +233,16 @@ class IndexCache {
   /// The index for (rel, key_positions), created on first use and refreshed
   /// to rel.size(). The returned pointer is stable until Clear(); Get never
   /// evicts (callers hold raw pointers across a join plan — see
-  /// MaybeEvict).
-  JoinIndex* Get(const Relation& rel, const std::vector<size_t>& key_positions) {
+  /// MaybeEvict). A non-null `pool` parallelizes the refresh's key hashing
+  /// (see JoinIndex::Refresh); the index contents are identical either way.
+  JoinIndex* Get(const Relation& rel, const std::vector<size_t>& key_positions,
+                 ThreadPool* pool = nullptr) {
     Key key{rel.uid(), key_positions};
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       it = entries_.emplace(std::move(key), std::make_unique<JoinIndex>(key_positions)).first;
     }
-    it->second->Refresh(rel);
+    it->second->Refresh(rel, pool);
     return it->second.get();
   }
 

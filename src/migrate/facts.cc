@@ -1,9 +1,14 @@
 #include "migrate/facts.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
+#include "datalog/index.h"
+#include "util/check.h"
 #include "util/failpoint.h"
+#include "util/mem_budget.h"
+#include "util/thread_pool.h"
 
 namespace dynamite {
 
@@ -26,37 +31,84 @@ std::map<std::string, std::vector<std::string>> FactSignatures(const Schema& sch
 
 namespace {
 
-/// Batched columnar fact emission: relations are resolved once up front and
-/// rows are appended through one reused value buffer — no per-record Tuple
-/// and no per-record name lookup (the conversion runs once per synthesis
-/// candidate via FlattenView and once per example, so this is a hot path).
+/// Per-record-type conversion state, resolved once per ToFacts call: the
+/// target relation, the (stable) schema attribute list, and per-attribute
+/// primitive/record classification. The old emitter re-resolved the
+/// relation by name and re-classified every attribute per record — on wide
+/// schemas that name-lookup churn dominated ingest (ISSUE 9 satellite).
+struct TypeInfo {
+  Relation* rel = nullptr;
+  const std::vector<std::string>* attrs = nullptr;  // Schema::AttrsOf, stable
+  std::vector<bool> is_prim;         // parallel to *attrs
+  std::vector<size_t> record_attrs;  // indices into *attrs of record attrs
+  size_t arity = 0;
+  size_t type_index = 0;  // dense, schema RecordNames() order
+};
+
+using TypeInfoMap = std::unordered_map<std::string, TypeInfo>;
+
+/// Declares one relation per record type — in schema RecordNames() order,
+/// single-threaded even under sharded ingest, so relation uids come out in
+/// the same sequence as the sequential path — and resolves each TypeInfo.
+Result<TypeInfoMap> DeclareRelations(const Schema& schema, FactDatabase* db) {
+  TypeInfoMap types;
+  size_t type_index = 0;
+  for (const std::string& rec : schema.RecordNames()) {
+    DYNAMITE_ASSIGN_OR_RETURN(Relation * rel,
+                              db->DeclareRelation(rec, FactSignature(schema, rec)));
+    TypeInfo info;
+    info.rel = rel;
+    info.attrs = &schema.AttrsOf(rec);
+    info.arity = rel->arity();
+    info.type_index = type_index++;
+    info.is_prim.reserve(info.attrs->size());
+    for (size_t i = 0; i < info.attrs->size(); ++i) {
+      bool prim = schema.IsPrimitive((*info.attrs)[i]);
+      info.is_prim.push_back(prim);
+      if (!prim && schema.IsRecord((*info.attrs)[i])) info.record_attrs.push_back(i);
+    }
+    types.emplace(rec, std::move(info));
+  }
+  return types;
+}
+
+/// Builds one record's fact row into `row_buf` (cleared first); returns the
+/// TypeInfo used, or an error for an unknown type / arity mismatch.
+Result<const TypeInfo*> FillRow(const TypeInfoMap& types, const RecordNode& node,
+                                const Value* parent_id, const Value& my_id,
+                                std::vector<Value>* row_buf) {
+  auto it = types.find(node.type);
+  if (it == types.end()) return Status::NotFound("no relation named " + node.type);
+  const TypeInfo& info = it->second;
+  row_buf->clear();
+  if (parent_id != nullptr) row_buf->push_back(*parent_id);
+  const std::vector<std::string>& attrs = *info.attrs;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    row_buf->push_back(info.is_prim[i] ? node.Prim(attrs[i]) : my_id);
+  }
+  if (row_buf->size() != info.arity) {
+    return Status::InvalidArgument("arity mismatch adding fact to " + node.type);
+  }
+  return &info;
+}
+
+/// Sequential columnar fact emission: rows are appended straight into the
+/// relations through one reused value buffer — no per-record Tuple, no
+/// per-record name lookup beyond the single TypeInfo probe.
 struct FactsEmitter {
-  const Schema& schema;
+  const TypeInfoMap& types;
   uint64_t* next_id;
-  std::unordered_map<std::string, Relation*> rels;
   std::vector<Value> row_buf;
 
   Status Emit(const RecordNode& node, const Value* parent_id) {
     Value my_id = Value::Id((*next_id)++);
-    row_buf.clear();
-    if (parent_id != nullptr) row_buf.push_back(*parent_id);
-    for (const std::string& attr : schema.AttrsOf(node.type)) {
-      if (schema.IsPrimitive(attr)) {
-        row_buf.push_back(node.Prim(attr));
-      } else {
-        row_buf.push_back(my_id);
-      }
-    }
-    auto it = rels.find(node.type);
-    if (it == rels.end()) return Status::NotFound("no relation named " + node.type);
-    if (row_buf.size() != it->second->arity()) {
-      return Status::InvalidArgument("arity mismatch adding fact to " + node.type);
-    }
-    it->second->InsertRow(row_buf.data(), row_buf.size());
+    DYNAMITE_ASSIGN_OR_RETURN(const TypeInfo* info,
+                              FillRow(types, node, parent_id, my_id, &row_buf));
+    info->rel->InsertRow(row_buf.data(), row_buf.size());
     // row_buf is free to reuse below: the row was appended column-wise.
-    for (const std::string& attr : schema.AttrsOf(node.type)) {
-      if (!schema.IsRecord(attr)) continue;
-      for (const RecordNode& child : node.Children(attr)) {
+    const std::vector<std::string>& attrs = *info->attrs;
+    for (size_t ai : info->record_attrs) {
+      for (const RecordNode& child : node.Children(attrs[ai])) {
         DYNAMITE_RETURN_NOT_OK(Emit(child, &my_id));
       }
     }
@@ -64,18 +116,11 @@ struct FactsEmitter {
   }
 };
 
-}  // namespace
-
-Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
-                             uint64_t* next_id, const RunContext* ctx) {
-  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
-  FactDatabase db;
-  FactsEmitter emitter{schema, next_id, {}, {}};
-  for (const std::string& rec : schema.RecordNames()) {
-    DYNAMITE_ASSIGN_OR_RETURN(Relation * rel,
-                              db.DeclareRelation(rec, FactSignature(schema, rec)));
-    emitter.rels.emplace(rec, rel);
-  }
+/// Sequential emission over the whole forest (also the sharded path's
+/// degradation target: it produces the canonical output by definition).
+Status EmitSequential(const RecordForest& forest, const TypeInfoMap& types,
+                      uint64_t* next_id, const RunContext* ctx) {
+  FactsEmitter emitter{types, next_id, {}};
   size_t ticks = 0;
   for (const RecordNode& root : forest.roots) {
     DYNAMITE_FAILPOINT("facts.emit");
@@ -84,40 +129,255 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
     }
     DYNAMITE_RETURN_NOT_OK(emitter.Emit(root, nullptr));
   }
+  return Status::OK();
+}
+
+/// Records a chunk's emissions for one relation: flat row-major values plus
+/// per-row hashes, so the single-threaded merge never hashes (the same
+/// recipe as the engine's parallel fixpoint buffers). No local dedup — the
+/// merge replays rows through the relations' own dedup tables in exactly
+/// the sequential order, folding duplicates identically.
+struct ShardBuffer {
+  std::vector<Value> values;
+  std::vector<size_t> hashes;
+};
+
+/// The number of fact rows Emit would produce for this subtree (one per
+/// record reached through schema record attributes). Drives the identifier
+/// prefix sums, so it must mirror FactsEmitter::Emit's traversal exactly;
+/// an unknown type counts as the one identifier the emitter would have
+/// consumed before erroring (the error itself surfaces in the emission
+/// pass, and identifiers past the first error are never observable).
+size_t CountEmitted(const RecordNode& node, const TypeInfoMap& types) {
+  auto it = types.find(node.type);
+  if (it == types.end()) return 1;
+  const TypeInfo& info = it->second;
+  size_t n = 1;
+  const std::vector<std::string>& attrs = *info.attrs;
+  for (size_t ai : info.record_attrs) {
+    for (const RecordNode& child : node.Children(attrs[ai])) {
+      n += CountEmitted(child, types);
+    }
+  }
+  return n;
+}
+
+/// Per-chunk emitter: identical traversal to FactsEmitter, but identifiers
+/// come from the chunk's preassigned block and rows land in per-relation
+/// buffers instead of the shared FactDatabase.
+struct ChunkEmitter {
+  const TypeInfoMap& types;
+  uint64_t next_id;               // seeded from the chunk's prefix sum
+  std::vector<ShardBuffer>* bufs;  // indexed by TypeInfo::type_index
+  std::vector<Value> row_buf;
+
+  Status Emit(const RecordNode& node, const Value* parent_id) {
+    Value my_id = Value::Id(next_id++);
+    DYNAMITE_ASSIGN_OR_RETURN(const TypeInfo* info,
+                              FillRow(types, node, parent_id, my_id, &row_buf));
+    ShardBuffer& sb = (*bufs)[info->type_index];
+    MemoryBudget::ChargeCurrent(row_buf.size() * sizeof(Value) + sizeof(size_t));
+    sb.values.insert(sb.values.end(), row_buf.begin(), row_buf.end());
+    sb.hashes.push_back(HashValueRange(row_buf.data(), row_buf.size()));
+    const std::vector<std::string>& attrs = *info->attrs;
+    for (size_t ai : info->record_attrs) {
+      for (const RecordNode& child : node.Children(attrs[ai])) {
+        DYNAMITE_RETURN_NOT_OK(Emit(child, &my_id));
+      }
+    }
+    return Status::OK();
+  }
+};
+
+/// Forests below this many roots ingest sequentially even with a pool:
+/// chunk dispatch plus the extra counting pass would cost more than the
+/// emission they parallelize.
+constexpr size_t kMinRootsForParallelIngest = 128;
+
+/// Sharded parallel emission. Returns OK/error like EmitSequential;
+/// `*degraded` is set instead when the attempt must be abandoned with the
+/// database untouched (ingest.shard fault or pool-level worker failure) —
+/// the caller then reruns EmitSequential for an identical result.
+Status EmitSharded(const RecordForest& forest, const TypeInfoMap& types,
+                   uint64_t* next_id, const RunContext* ctx, ThreadPool* pool,
+                   IngestStats* stats, bool* degraded) {
+  const size_t num_roots = forest.roots.size();
+  const size_t workers = pool->num_workers();
+  // Same chunking recipe as the parallel fixpoint: enough chunks for
+  // claim-based load balancing, boundaries a pure function of the sizes.
+  const size_t num_chunks =
+      std::min(workers * 4, std::max<size_t>(1, num_roots / 32));
+  auto chunk_lo = [&](size_t c) { return num_roots * c / num_chunks; };
+
+  MemoryBudget* budget = ctx != nullptr ? ctx->memory : nullptr;
+
+  // Pass 1: count each chunk's records (identifier demand) in parallel.
+  std::vector<uint64_t> chunk_records(num_chunks, 0);
+  std::atomic<size_t> next_count{0};
+  Status count_pool_status = pool->Run([&](size_t) {
+    for (;;) {
+      size_t c = next_count.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      uint64_t n = 0;
+      for (size_t r = chunk_lo(c); r < chunk_lo(c + 1); ++r) {
+        n += CountEmitted(forest.roots[r], types);
+      }
+      chunk_records[c] = n;
+    }
+  });
+  if (!count_pool_status.ok()) {
+    *degraded = true;
+    return Status::OK();
+  }
+
+  // Prefix sums seed each chunk's identifier block at exactly the value the
+  // sequential depth-first walk reaches when it enters the chunk's first
+  // root.
+  std::vector<uint64_t> chunk_base(num_chunks, 0);
+  uint64_t total = 0;
+  for (size_t c = 0; c < num_chunks; ++c) {
+    chunk_base[c] = *next_id + total;
+    total += chunk_records[c];
+  }
+
+  // Pass 2: emit each chunk into its own buffers. Chunk-level failures
+  // split two ways: an `ingest.shard` fault (or anything a worker throws,
+  // caught by the pool's trampoline) marks the attempt degraded; errors
+  // from the emission itself — content errors, ctx interruption, the
+  // `facts.emit` failpoint — are typed per chunk and propagate below.
+  std::vector<std::vector<ShardBuffer>> chunk_bufs(num_chunks);
+  std::vector<Status> chunk_status(num_chunks, Status::OK());
+  std::atomic<bool> shard_fault{false};
+  std::atomic<size_t> next_emit{0};
+  Status emit_pool_status = pool->Run([&](size_t) {
+    MemoryBudgetScope mem_scope(budget);
+    for (;;) {
+      size_t c = next_emit.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      Status injected = DYNAMITE_FAILPOINT_STATUS("ingest.shard");
+      if (!injected.ok()) {
+        shard_fault.store(true, std::memory_order_relaxed);
+        break;
+      }
+      chunk_status[c] = failpoint::GuardExceptions("sharded ingest", [&]() -> Status {
+        std::vector<ShardBuffer>& bufs = chunk_bufs[c];
+        bufs.resize(types.size());
+        ChunkEmitter emitter{types, chunk_base[c], &bufs, {}};
+        size_t ticks = 0;
+        for (size_t r = chunk_lo(c); r < chunk_lo(c + 1); ++r) {
+          Status fp = DYNAMITE_FAILPOINT_STATUS("facts.emit");
+          if (!fp.ok()) return fp;
+          if (ctx != nullptr && (++ticks & 0xff) == 0) {
+            DYNAMITE_RETURN_NOT_OK(ctx->Check("facts conversion"));
+          }
+          DYNAMITE_RETURN_NOT_OK(emitter.Emit(forest.roots[r], nullptr));
+        }
+        // The counting pass must agree with emission or identifiers would
+        // collide across chunks.
+        DYNAMITE_CHECK(emitter.next_id == chunk_base[c] + chunk_records[c],
+                       "sharded ingest count/emission mismatch");
+        return Status::OK();
+      });
+    }
+  });
+  if (shard_fault.load(std::memory_order_relaxed) || !emit_pool_status.ok()) {
+    *degraded = true;
+    return Status::OK();
+  }
+  // Lowest-chunk error == the first error of the sequential depth-first
+  // walk (each chunk emits sequentially, so its recorded error is the
+  // chunk's first): deterministic error codes at any worker count.
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!chunk_status[c].ok()) return chunk_status[c];
+  }
+
+  // Single-threaded merge. Per relation, the concatenation of chunk
+  // buffers in ascending chunk order is exactly the sequential emission
+  // order, and InsertRowPrehashed applies the same dedup the sequential
+  // InsertRow would — bit-identical contents and row order. (The merge
+  // revisits one relation at a time rather than interleaving types the way
+  // the depth-first walk does; per-relation order is what dedup and row
+  // order depend on, and that is preserved.)
+  for (const auto& [rec, info] : types) {
+    (void)rec;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      if (chunk_bufs[c].empty()) continue;  // chunk emitted nothing
+      const ShardBuffer& sb = chunk_bufs[c][info.type_index];
+      for (size_t r = 0; r < sb.hashes.size(); ++r) {
+        info.rel->InsertRowPrehashed(sb.values.data() + r * info.arity,
+                                     info.arity, sb.hashes[r]);
+      }
+    }
+  }
+  *next_id += total;
+  if (stats != nullptr) stats->parallel_chunks += num_chunks;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
+                             uint64_t* next_id, const RunContext* ctx) {
+  return ToFacts(forest, schema, next_id, ctx, IngestOptions{});
+}
+
+Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
+                             uint64_t* next_id, const RunContext* ctx,
+                             const IngestOptions& options) {
+  DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
+  FactDatabase db;
+  DYNAMITE_ASSIGN_OR_RETURN(TypeInfoMap types, DeclareRelations(schema, &db));
+
+  if (options.pool_provider && forest.roots.size() >= kMinRootsForParallelIngest) {
+    ThreadPool* pool = options.pool_provider();
+    if (pool != nullptr && pool->num_workers() > 1) {
+      bool degraded = false;
+      DYNAMITE_RETURN_NOT_OK(EmitSharded(forest, types, next_id, ctx, pool,
+                                         options.stats, &degraded));
+      if (!degraded) return db;
+      // Degradation: nothing reached the relations (buffers were the only
+      // state), so the sequential rerun below starts clean and produces the
+      // identical database.
+      if (options.stats != nullptr) ++options.stats->ingest_fallbacks;
+    }
+  }
+
+  DYNAMITE_RETURN_NOT_OK(EmitSequential(forest, types, next_id, ctx));
   return db;
 }
 
 namespace {
 
-/// Hash index: child relation rows grouped by parent column value. Built
-/// with a single scan of the parent column — columnar storage means the
-/// other columns are never touched during the build.
+/// Posting-list index over a child relation's parent column: build-once,
+/// backed by the engine's JoinIndex on key position {0}, so forest
+/// reconstruction shares the same open-addressed group table (and the same
+/// memory-budget accounting) as join evaluation. Postings are ascending row
+/// indices — children rebuild in fact insertion order, exactly like the
+/// linear scan the old per-value hash map replaced.
 class ChildIndex {
  public:
-  ChildIndex(const Relation* rel) : rel_(rel) {
-    if (rel == nullptr) return;
-    const std::vector<Value>& parent_col = rel->column(0);
-    for (uint32_t i = 0; i < parent_col.size(); ++i) {
-      index_[parent_col[i]].push_back(i);
-    }
+  explicit ChildIndex(const Relation* rel) : rel_(rel), index_({0}) {
+    if (rel_ != nullptr) index_.Refresh(*rel_);
   }
 
   const std::vector<uint32_t>& Lookup(const Value& parent) const {
     static const std::vector<uint32_t> kEmpty;
-    auto it = index_.find(parent);
-    return it == index_.end() ? kEmpty : it->second;
+    if (rel_ == nullptr) return kEmpty;
+    const std::vector<uint32_t>* rows = index_.Lookup(*rel_, &parent, 1);
+    return rows == nullptr ? kEmpty : *rows;
   }
 
   const Relation* relation() const { return rel_; }
 
  private:
   const Relation* rel_ = nullptr;
-  std::unordered_map<Value, std::vector<uint32_t>> index_;
+  JoinIndex index_;
 };
 
 struct Rebuilder {
   const FactDatabase& db;
   const Schema& schema;
+  IngestStats* stats;  // may be null
   std::map<std::string, ChildIndex> child_indexes;
 
   const ChildIndex& IndexFor(const std::string& record) {
@@ -127,6 +387,7 @@ struct Rebuilder {
       auto found = db.Find(record);
       if (found.ok()) rel = found.ValueOrDie();
       it = child_indexes.emplace(record, ChildIndex(rel)).first;
+      if (stats != nullptr) ++stats->child_index_builds;
     }
     return it->second;
   }
@@ -144,6 +405,7 @@ struct Rebuilder {
       } else {
         std::vector<RecordNode> kids;
         const ChildIndex& index = IndexFor(attrs[i]);
+        if (stats != nullptr) ++stats->child_index_lookups;
         for (uint32_t child_row : index.Lookup(cell)) {
           kids.push_back(Build(attrs[i], index.relation()->row(child_row), 1));
         }
@@ -157,8 +419,8 @@ struct Rebuilder {
 }  // namespace
 
 Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
-                                 const RunContext* ctx) {
-  Rebuilder rb{db, schema, {}};
+                                 const RunContext* ctx, IngestStats* stats) {
+  Rebuilder rb{db, schema, stats, {}};
   RecordForest forest;
   size_t ticks = 0;
   for (const std::string& rec : schema.TopLevelRecords()) {

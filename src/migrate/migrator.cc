@@ -49,8 +49,21 @@ Result<RecordForest> Migrator::MigrateImpl(const Program& program,
   // fails by the end of that stage at the latest.
   Timer timer;
   uint64_t next_id = 1;
-  DYNAMITE_ASSIGN_OR_RETURN(FactDatabase edb,
-                            ToFacts(source, source_schema_, &next_id, &ctx));
+  IngestOptions ingest_options;
+  ingest_options.stats = &local.ingest;
+  if (engine_.num_threads() > 1) {
+    // Deferred: the pool is only instantiated when ToFacts decides the
+    // forest is large enough to shard, so small migrations never pay for
+    // thread spawn. num_threads counts the calling thread as worker 0.
+    ingest_options.pool_provider = [this]() {
+      if (ingest_pool_ == nullptr) {
+        ingest_pool_ = std::make_unique<ThreadPool>(engine_.num_threads() - 1);
+      }
+      return ingest_pool_.get();
+    };
+  }
+  DYNAMITE_ASSIGN_OR_RETURN(
+      FactDatabase edb, ToFacts(source, source_schema_, &next_id, &ctx, ingest_options));
   DYNAMITE_RETURN_NOT_OK(ctx.Check("facts conversion"));
   local.source_facts = edb.TotalFacts();
   local.to_facts_seconds = timer.ElapsedSeconds();
@@ -65,7 +78,8 @@ Result<RecordForest> Migrator::MigrateImpl(const Program& program,
   report("eval");
 
   timer.Reset();
-  DYNAMITE_ASSIGN_OR_RETURN(RecordForest target, BuildForest(idb, target_schema_, &ctx));
+  DYNAMITE_ASSIGN_OR_RETURN(RecordForest target,
+                            BuildForest(idb, target_schema_, &ctx, &local.ingest));
   DYNAMITE_RETURN_NOT_OK(ctx.Check("forest reconstruction"));
   local.target_records = target.TotalRecords();
   local.build_seconds = timer.ElapsedSeconds();

@@ -54,6 +54,24 @@ TEST(ToFactsBuildForest, RoundTripsFlatInstance) {
   EXPECT_TRUE(ForestEquals(e.output, back));
 }
 
+TEST(ToFactsBuildForest, ChildIndexIsBuiltOncePerRelation) {
+  // Regression pin for the build-once posting-list ChildIndex (ISSUE 9):
+  // one index build per child relation regardless of how many parents chase
+  // into it, and exactly one lookup per record-typed cell. A rebuild-per-
+  // lookup regression shows up as builds == lookups.
+  Example e = testing::MotivatingExample();
+  uint64_t next_id = 1;
+  ASSERT_OK_AND_ASSIGN(FactDatabase db, ToFacts(e.input, testing::UnivSchema(), &next_id));
+  IngestStats stats;
+  ASSERT_OK_AND_ASSIGN(RecordForest back,
+                       BuildForest(db, testing::UnivSchema(), nullptr, &stats));
+  EXPECT_TRUE(ForestEquals(e.input, back));
+  // Univ is the only record type with a record-typed attribute (Admit): one
+  // index build, one lookup per Univ root (2 roots in Example 4).
+  EXPECT_EQ(stats.child_index_builds, 1u);
+  EXPECT_EQ(stats.child_index_lookups, 2u);
+}
+
 TEST(FactSignatures, CoverAllRecords) {
   auto sigs = FactSignatures(testing::UnivSchema());
   ASSERT_EQ(sigs.size(), 2u);

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "api/session.h"
+#include "datalog/index.h"
 #include "migrate/facts.h"
 #include "migrate/migrator.h"
 #include "schema/schema_builder.h"
@@ -44,6 +45,7 @@
 #include "util/mem_budget.h"
 #include "util/rng.h"
 #include "workload/benchmarks.h"
+#include "workload/datagen.h"
 
 namespace dynamite {
 namespace {
@@ -163,6 +165,98 @@ FuzzCase MakeProjectionCase(Rng* rng) {
   return fc;
 }
 
+/// Shared tail of the adversarial-distribution cases below: build the
+/// schema pair from `src_cols` (target = renamed subset `picked`), then an
+/// example whose cells are globally distinct (row-indexed pool values), so
+/// mapping inference stays unambiguous regardless of how skewed the
+/// *instance* is.
+void FinishFlatCase(FuzzCase* fc, const std::vector<workload::FlatColumn>& src_cols,
+                    const std::vector<size_t>& picked, Rng* rng) {
+  std::vector<AttrDecl> src_decls;
+  for (const workload::FlatColumn& col : src_cols) {
+    src_decls.push_back(
+        {col.attr, col.is_string ? PrimitiveType::kString : PrimitiveType::kInt});
+  }
+  std::vector<AttrDecl> tgt_decls;
+  for (size_t c : picked) tgt_decls.push_back({"t_" + src_decls[c].name, src_decls[c].type});
+  RelationalSchemaBuilder sb;
+  sb.AddTable("Src", src_decls);
+  fc->source = sb.Build().ValueOrDie();
+  RelationalSchemaBuilder tb;
+  tb.AddTable("Tgt", tgt_decls);
+  fc->target = tb.Build().ValueOrDie();
+
+  const size_t example_rows = 3 + rng->NextIndex(3);
+  for (size_t r = 0; r < example_rows; ++r) {
+    RecordNode src_rec;
+    src_rec.type = "Src";
+    std::vector<Value> cells;
+    for (const workload::FlatColumn& col : src_cols) {
+      // Distinct per (column, row) and disjoint across columns — the
+      // opposite of the instance's heavy-duplicate pools.
+      cells.push_back(col.is_string
+                          ? Value::String(workload::Pooled("ex_" + col.attr, r))
+                          : Value::Int(static_cast<int64_t>(1000 + r)));
+    }
+    for (size_t c = 0; c < src_cols.size(); ++c) {
+      src_rec.prims.push_back({src_cols[c].attr, cells[c]});
+    }
+    fc->example.input.roots.push_back(std::move(src_rec));
+    RecordNode tgt_rec;
+    tgt_rec.type = "Tgt";
+    for (size_t i = 0; i < picked.size(); ++i) {
+      tgt_rec.prims.push_back({tgt_decls[i].name, cells[picked[i]]});
+    }
+    fc->example.output.roots.push_back(std::move(tgt_rec));
+  }
+}
+
+/// Zipf-skewed case: projection schema, but the migration instance draws
+/// every cell from small Zipf-skewed pools — duplicate-heavy rows and hash
+/// groups with giant posting lists. Adversarial for the vectorized matcher
+/// (selection vectors that are nearly all-pass or nearly empty) and for
+/// sharded ingest (dedup folding must replay identically from shard
+/// buffers). Instance sized past both the engine's parallel threshold and
+/// the ingest sharding threshold.
+FuzzCase MakeSkewedCase(Rng* rng) {
+  FuzzCase fc;
+  fc.synthesized = true;
+  fc.label = "zipf";
+  const size_t ncols = 2 + rng->NextIndex(4);
+  std::vector<workload::FlatColumn> src_cols;
+  for (size_t c = 0; c < ncols; ++c) {
+    src_cols.push_back({"z" + std::to_string(c) + "_" + rng->NextIdent(4),
+                        /*is_string=*/c == 0 || rng->NextBool(0.5),
+                        /*pool_size=*/2 + rng->NextIndex(30)});
+  }
+  std::vector<size_t> picked = rng->SampleIndices(ncols, 1 + rng->NextIndex(ncols));
+  FinishFlatCase(&fc, src_cols, picked, rng);
+  const double s = 0.6 + 0.2 * rng->NextIndex(6);  // 0.6 .. 1.6
+  fc.instance = workload::ZipfFlatInstance("Src", src_cols,
+                                           300 + rng->NextIndex(500), s, rng);
+  return fc;
+}
+
+/// Wide-row case: 24-40 columns. Every row touches many column vectors, so
+/// columnar filter/gather layout bugs that narrow tables hide surface here;
+/// sharded ingest moves wide rows through its flat shard buffers.
+FuzzCase MakeWideRowCase(Rng* rng) {
+  FuzzCase fc;
+  fc.synthesized = true;
+  fc.label = "wide";
+  const size_t ncols = 24 + rng->NextIndex(17);
+  std::vector<workload::FlatColumn> src_cols =
+      workload::WideColumns(ncols, /*pool_size=*/8 + rng->NextIndex(56));
+  // Disambiguate column identity across cases (pool names feed the string
+  // interner; a per-case suffix keeps interning live like the other cases).
+  for (workload::FlatColumn& col : src_cols) col.attr += "_" + rng->NextIdent(3);
+  std::vector<size_t> picked = rng->SampleIndices(ncols, 4 + rng->NextIndex(6));
+  FinishFlatCase(&fc, src_cols, picked, rng);
+  fc.instance = workload::ZipfFlatInstance("Src", src_cols, 200 + rng->NextIndex(300),
+                                           /*s=*/0.4, rng);
+  return fc;
+}
+
 /// Workload case: a random Table 2 benchmark, migrated with its golden
 /// program (synthesis of the hard benchmarks is its own test; the fuzzer
 /// uses them for schema/instance diversity at migration scale).
@@ -186,11 +280,12 @@ FuzzCase MakeWorkloadCase(Rng* rng) {
 /// scales the whole pipeline, so threads > 1 also turns on the enumeration
 /// portfolio); pass 1 to pin the exact sequential enumeration loop.
 Session MakeSession(const FuzzCase& fc, size_t threads, size_t max_memory_bytes = 0,
-                    size_t synth_threads = 0) {
+                    size_t synth_threads = 0, size_t probe_block_rows = 0) {
   SessionOptions so;
   so.num_threads = threads;
   so.synth_threads = synth_threads;
   so.max_memory_bytes = max_memory_bytes;
+  so.engine.probe_block_rows = probe_block_rows;
   auto session = Session::Create(fc.source, fc.target, so);
   FUZZ_ASSERT(session.ok(), "Session::Create(%s): %s", fc.label.c_str(),
               session.status().ToString().c_str());
@@ -244,10 +339,26 @@ std::string ArmRandomFault(Rng* rng, bool include_timeout) {
 }
 
 void RunDifferentialIteration(Rng* rng, size_t threads) {
-  const bool workload_case = rng->NextBool(0.34);
-  FuzzCase fc = workload_case ? MakeWorkloadCase(rng) : MakeProjectionCase(rng);
+  FuzzCase fc;
+  switch (rng->NextIndex(8)) {
+    case 0:
+    case 1:
+    case 2:
+      fc = MakeWorkloadCase(rng);
+      break;
+    case 3:
+      fc = MakeSkewedCase(rng);
+      break;
+    case 4:
+      fc = MakeWideRowCase(rng);
+      break;
+    default:
+      fc = MakeProjectionCase(rng);
+      break;
+  }
 
-  // --- invariant 1: parity across thread counts and the legacy shim -------
+  // --- invariant 1: parity across thread counts, the scalar (block=1)
+  // matcher, and the legacy shim ------------------------------------------
   Session seq = MakeSession(fc, 1);
   Session par = MakeSession(fc, threads);
   Program seq_program, par_program;
@@ -263,6 +374,16 @@ void RunDifferentialIteration(Rng* rng, size_t threads) {
               par_program.ToString().c_str());
   FUZZ_ASSERT(ForestEquals(seq_out, par_out), "[%s] threads=1 vs threads=%zu outputs diverge",
               fc.label.c_str(), threads);
+  // Vectorized vs scalar matcher: probe_block_rows=1 pins the exact
+  // row-at-a-time path; the default (1024) must migrate identically.
+  Session scalar = MakeSession(fc, threads, 0, 0, /*probe_block_rows=*/1);
+  Program scalar_program;
+  RecordForest scalar_out;
+  st = RunPipeline(scalar, fc, &scalar_program, &scalar_out);
+  FUZZ_ASSERT(st.ok(), "[%s] probe_block_rows=1 run failed: %s", fc.label.c_str(),
+              st.ToString().c_str());
+  FUZZ_ASSERT(scalar_program == seq_program && ForestEquals(scalar_out, seq_out),
+              "[%s] scalar (block=1) vs vectorized outputs diverge", fc.label.c_str());
   Migrator shim(fc.source, fc.target);
   auto shim_out = shim.Migrate(seq_program, fc.instance);
   FUZZ_ASSERT(shim_out.ok(), "[%s] legacy Migrator failed: %s", fc.label.c_str(),
@@ -424,8 +545,29 @@ int RunSmoke(const CliOptions& cli) {
           return Value::TryString("smoke_probe_" + spec + site).status();
         });
       }
+      if (st.ok() && site == "engine.index.refresh") {
+        // Flat projection pipelines compile single-atom plans, which build
+        // a join index only when the plan binds constants — case-dependent.
+        // When this pipeline happened not to build one, probe the site
+        // directly (same pattern as string_pool.intern above).
+        st = failpoint::GuardExceptions("index refresh", [&]() -> Status {
+          Relation rel("SmokeProbe", {"k"});
+          Value one = Value::Int(1);
+          rel.InsertRow(&one, 1);
+          JoinIndex probe({0});
+          probe.Refresh(rel);
+          return Status::OK();
+        });
+      }
       if (!st.ok()) {
-        FUZZ_ASSERT(IsInjectable(st.code()), "%s:%s surfaced untyped failure %s",
+        // An injected timeout during synthesis legitimately steers
+        // enumeration (a per-candidate kTimeout means "too expensive, try
+        // the next model" — see ArmRandomFault); when the discarded
+        // candidate was the only consistent one, the steering surfaces as
+        // kSynthesisFailure. Typed and by design, so acceptable here.
+        const bool steered = std::strcmp(kind, "timeout") == 0 &&
+                             st.code() == StatusCode::kSynthesisFailure;
+        FUZZ_ASSERT(IsInjectable(st.code()) || steered, "%s:%s surfaced untyped failure %s",
                     site.c_str(), spec.c_str(), st.ToString().c_str());
       }
       // A first-hit injection of the default kind must be *observable*: the
@@ -433,9 +575,11 @@ int RunSmoke(const CliOptions& cli) {
       // fault was absorbed by design (a worker-thread fault falls back to
       // the sequential path and succeeds). synth.worker only executes in
       // portfolio runs (synth_threads > 1), which this matrix pins off —
-      // its degradation contract is asserted in the dedicated section below.
+      // its degradation contract is asserted in the dedicated section below,
+      // as is ingest.shard's (absorbed by design: a shard fault degrades
+      // ToFacts to the sequential path with identical output).
       if (std::strcmp(kind, "resource") == 0 && site != "thread_pool.worker" &&
-          site != "synth.worker") {
+          site != "synth.worker" && site != "ingest.shard") {
         FUZZ_ASSERT(!st.ok(), "%s:%s did not fire (pipeline came back OK)", site.c_str(),
                     spec.c_str());
       }
@@ -475,6 +619,38 @@ int RunSmoke(const CliOptions& cli) {
       FUZZ_ASSERT(ForestEquals(output, clean_out),
                   "synth.worker:%s degraded run migrated a different output", spec.c_str());
       std::printf("  synth.worker %-8s -> OK (degraded, identical program)\n", kind);
+    }
+    failpoint::DisarmAll();
+  }
+
+  // Sharded-ingest degradation: an ingest.shard fault of any kind must
+  // degrade ToFacts to the sequential path and migrate the *identical*
+  // instance — never surface an error. The instance must cross the ingest
+  // sharding threshold (128 roots) so the sharded path actually runs.
+  {
+    Rng rng(cli.seed ^ 0x16e57a2d);
+    FuzzCase fc = MakeProjectionCase(&rng);
+    while (fc.instance.roots.size() < 300) {
+      fc = MakeProjectionCase(&rng);
+    }
+    Session clean = MakeSession(fc, 4);
+    Program clean_program;
+    RecordForest clean_out;
+    Status st = RunPipeline(clean, fc, &clean_program, &clean_out);
+    FUZZ_ASSERT(st.ok(), "ingest clean baseline failed: %s", st.ToString().c_str());
+    for (const char* kind : kKinds) {
+      failpoint::DisarmAll();
+      std::string spec = std::string("hit_1:") + kind;
+      Status armed = failpoint::ArmFromString("ingest.shard", spec);
+      FUZZ_ASSERT(armed.ok(), "ArmFromString(ingest.shard, %s): %s", spec.c_str(),
+                  armed.ToString().c_str());
+      Session session = MakeSession(fc, 4);
+      auto migrated = session.Migrate(clean_program, fc.instance);
+      FUZZ_ASSERT(migrated.ok(), "ingest.shard:%s did not degrade gracefully: %s",
+                  spec.c_str(), migrated.status().ToString().c_str());
+      FUZZ_ASSERT(ForestEquals(migrated.ValueOrDie(), clean_out),
+                  "ingest.shard:%s degraded run migrated a different output", spec.c_str());
+      std::printf("  ingest.shard %-8s -> OK (degraded, identical output)\n", kind);
     }
     failpoint::DisarmAll();
   }
