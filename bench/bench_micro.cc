@@ -14,7 +14,9 @@
 #include "schema/schema_builder.h"
 #include "solver/fd.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "synth/mdp.h"
 #include "synth/synthesizer.h"
 #include "workload/benchmarks.h"
@@ -219,6 +221,41 @@ void BM_FailpointOverhead(benchmark::State& state) {
   if (armed) failpoint::DisarmAll();
 }
 BENCHMARK(BM_FailpointOverhead)->Arg(0)->Arg(1);
+
+void BM_TraceOverhead(benchmark::State& state) {
+  // Cost of the trace spans on the hot fixpoint path (ISSUE 10): identical
+  // workload to BM_FixpointParallel/200/1, so comparing against that entry
+  // measures the span tax directly. Arg 0 runs disarmed — the shipping
+  // configuration, where each span site is one relaxed atomic load (claim:
+  // <2% vs BM_FixpointParallel/200/1, i.e. within run-to-run noise; the
+  // acceptance number recorded in BENCH_micro.json). Arg 1 arms tracing, so
+  // every span pays two steady_clock reads and a ring-buffer write — the
+  // upper bound for a run with DYNAMITE_TRACE set. Ring contents are
+  // cleared around the armed arm so the fixed-capacity rings never skew a
+  // later dump.
+  const bool armed = state.range(0) != 0;
+  if (armed) {
+    trace::Clear();
+    trace::Arm();
+  }
+  FactDatabase db = StringEdges(200);
+  Program p = Program::Parse(R"(
+    tc(x, y) :- edge(x, y).
+    tc(x, y) :- tc(x, z), edge(z, y).
+  )").ValueOrDie();
+  DatalogEngine::Options opts;
+  opts.num_threads = 1;
+  DatalogEngine engine(opts);
+  for (auto _ : state) {
+    auto out = engine.EvalAutoSignatures(p, db);
+    benchmark::DoNotOptimize(out);
+  }
+  if (armed) {
+    trace::Disarm();
+    trace::Clear();
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1);
 
 void BM_SatPigeonHole(benchmark::State& state) {
   // php(n+1, n): UNSAT, exercises clause learning.
@@ -503,6 +540,21 @@ int main(int argc, char** argv) {
   if (writer.empty()) {
     std::fprintf(stderr, "no benchmark results; %s not written\n", path);
     return 0;
+  }
+  // Annotate the run with the process-wide metrics snapshot: the counters
+  // say what the measured runs actually did (plan refreshes, memo hits,
+  // fallbacks), which is what makes threshold re-tunes explainable from the
+  // JSON alone.
+  dynamite::metrics::MetricsSnapshot snapshot = dynamite::metrics::Snapshot();
+  for (const auto& [name, value] : snapshot.counters) {
+    writer.RecordMetric(name, value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer.RecordMetric(name, static_cast<uint64_t>(value));
+  }
+  for (const auto& h : snapshot.histograms) {
+    writer.RecordMetric(h.name + ".count", h.count);
+    writer.RecordMetric(h.name + ".sum", h.sum);
   }
   if (!writer.WriteFile(path, label)) {
     std::fprintf(stderr, "failed to write %s\n", path);

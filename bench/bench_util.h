@@ -3,8 +3,10 @@
 #ifndef DYNAMITE_BENCH_BENCH_UTIL_H_
 #define DYNAMITE_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dynamite {
@@ -68,6 +70,15 @@ class JsonWriter {
     entries_.push_back({std::move(name), wall_ms, items_per_second});
   }
 
+  /// Adds a name→value pair to the "metrics" section of the output — the
+  /// run's metrics::Snapshot() lands here so perf numbers carry their own
+  /// workload annotation (how many plan refreshes, memo hits, fallbacks the
+  /// measured runs actually did). Kept as plain pairs so this header stays
+  /// free of a util/metrics.h dependency.
+  void RecordMetric(std::string name, uint64_t value) {
+    metrics_.emplace_back(std::move(name), value);
+  }
+
   bool empty() const { return entries_.empty(); }
 
   /// JSON string escaping (quotes, backslashes, control characters).
@@ -107,7 +118,20 @@ class JsonWriter {
                     i + 1 < entries_.size() ? "," : "");
       out += buf;
     }
-    out += "  ]\n}\n";
+    out += "  ]";
+    if (!metrics_.empty()) {
+      out += ",\n  \"metrics\": {\n";
+      for (size_t i = 0; i < metrics_.size(); ++i) {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf), "    \"%s\": %llu%s\n",
+                      Escape(metrics_[i].first).c_str(),
+                      static_cast<unsigned long long>(metrics_[i].second),
+                      i + 1 < metrics_.size() ? "," : "");
+        out += buf;
+      }
+      out += "  }";
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -123,6 +147,7 @@ class JsonWriter {
 
  private:
   std::vector<Entry> entries_;
+  std::vector<std::pair<std::string, uint64_t>> metrics_;
 };
 
 }  // namespace bench

@@ -21,6 +21,7 @@
 #include "util/deadline.h"
 #include "util/mem_budget.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -79,6 +80,10 @@ struct RunContext {
   /// Session runs, the Session entry point — keeps it alive for the run.
   /// Copies share it, like the cancel state.
   MemoryBudget* memory = nullptr;
+  /// Trace id of this run (0 = untraced). Session entry points stamp a
+  /// fresh id when tracing is armed (see util/trace.h); copies keep it, so
+  /// every stage of one run dumps under one id.
+  uint64_t trace_id = 0;
 
   RunContext() = default;
   RunContext(Deadline d, CancelToken c, ProgressObserver o = nullptr)
@@ -113,9 +118,12 @@ struct RunContext {
            (memory != nullptr && memory->exhausted());
   }
 
-  /// Forwards an event to the observer, if any.
+  /// Forwards an event to the observer, if any, and — when tracing is
+  /// armed — records it as an instant event on the active span, so
+  /// progress ticks land on the timeline of the run that produced them.
   void Report(const ProgressEvent& event) const {
     if (observer) observer(event);
+    DYNAMITE_TRACE_INSTANT(PhaseToString(event.phase), event.detail.c_str());
   }
 
   /// This context restricted to the tighter of its own deadline and `cap`

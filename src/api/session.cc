@@ -6,6 +6,8 @@
 #include "instance/record_forest.h"
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -20,6 +22,38 @@ RunContext WithBudget(const RunContext& ctx, MemoryBudget* local_budget,
   RunContext out = ctx;
   out.memory = local_budget;
   return out;
+}
+
+/// Per-entry-point trace state: stamps the run with a fresh trace id when
+/// tracing is armed (unless the caller pinned one on the context), installs
+/// it as the calling thread's ambient id — pool workers inherit it via
+/// ThreadPool::Run — and opens the entry point's root span. Member order
+/// matters: the id scope outlives the span, so the span records under the
+/// run's id.
+class SessionTraceScope {
+ public:
+  SessionTraceScope(const char* name, RunContext* ctx)
+      : id_scope_(StampTraceId(ctx)), span_(name) {}
+
+ private:
+  static uint64_t StampTraceId(RunContext* ctx) {
+    if (ctx->trace_id == 0 && trace::Enabled()) {
+      ctx->trace_id = trace::NextTraceId();
+    }
+    return ctx->trace_id;
+  }
+
+  trace::TraceIdScope id_scope_;
+  trace::Span span_;
+};
+
+/// Mirrors the run's memory high-water into the process gauge. Budget
+/// charges are append-only (never refunded), so the budget's used() at the
+/// end of the run IS its high-water mark.
+void RecordMemoryHighWater(const RunContext& ctx) {
+  if (ctx.memory == nullptr) return;
+  metrics::GetGauge("mem.budget_high_water_bytes")
+      .UpdateMax(static_cast<int64_t>(ctx.memory->used()));
 }
 
 }  // namespace
@@ -89,14 +123,18 @@ Result<SynthesisResult> Session::Synthesize(const Example& example,
   RunContext bounded =
       WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
   MemoryBudgetScope mem_scope(bounded.memory);
-  return failpoint::GuardExceptions("synthesis", [&]() -> Result<SynthesisResult> {
-    DYNAMITE_FAILPOINT("session.synthesize");
-    DYNAMITE_RETURN_NOT_OK(
-        CheckAgainstSchema(example.input, source_, "example input vs source schema"));
-    DYNAMITE_RETURN_NOT_OK(
-        CheckAgainstSchema(example.output, target_, "example output vs target schema"));
-    return synthesizer_->Synthesize(example, bounded);
-  });
+  SessionTraceScope trace_scope("session.synthesize", &bounded);
+  auto result =
+      failpoint::GuardExceptions("synthesis", [&]() -> Result<SynthesisResult> {
+        DYNAMITE_FAILPOINT("session.synthesize");
+        DYNAMITE_RETURN_NOT_OK(
+            CheckAgainstSchema(example.input, source_, "example input vs source schema"));
+        DYNAMITE_RETURN_NOT_OK(
+            CheckAgainstSchema(example.output, target_, "example output vs target schema"));
+        return synthesizer_->Synthesize(example, bounded);
+      });
+  RecordMemoryHighWater(bounded);
+  return result;
 }
 
 Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
@@ -122,7 +160,8 @@ Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
   RunContext bounded =
       WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
   MemoryBudgetScope mem_scope(bounded.memory);
-  return failpoint::GuardExceptions(
+  SessionTraceScope trace_scope("session.synthesize_interactive", &bounded);
+  auto out = failpoint::GuardExceptions(
       "interactive synthesis", [&]() -> Result<InteractiveResult> {
         DYNAMITE_ASSIGN_OR_RETURN(
             InteractiveResult result,
@@ -133,6 +172,8 @@ Result<InteractiveResult> Session::SynthesizeInteractive(const Example& example,
         }
         return result;
       });
+  RecordMemoryHighWater(bounded);
+  return out;
 }
 
 Result<RecordForest> Session::Migrate(const Program& program, const RecordForest& source,
@@ -141,7 +182,8 @@ Result<RecordForest> Session::Migrate(const Program& program, const RecordForest
   RunContext bounded =
       WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
   MemoryBudgetScope mem_scope(bounded.memory);
-  return failpoint::GuardExceptions("migration", [&]() -> Result<RecordForest> {
+  SessionTraceScope trace_scope("session.migrate", &bounded);
+  auto out = failpoint::GuardExceptions("migration", [&]() -> Result<RecordForest> {
     DYNAMITE_FAILPOINT("session.migrate");
     // No pre-validation on the hot path: ToFacts validates the forest anyway
     // (a second walk here cost ~20% on migration microbenchmarks). Instead,
@@ -155,6 +197,8 @@ Result<RecordForest> Session::Migrate(const Program& program, const RecordForest
     }
     return result;
   });
+  RecordMemoryHighWater(bounded);
+  return out;
 }
 
 Result<PipelineResult> Session::SynthesizeAndMigrate(const Example& example,
@@ -168,7 +212,8 @@ Result<PipelineResult> Session::SynthesizeAndMigrate(const Example& example,
   RunContext bounded =
       WithBudget(Bounded(ctx), &local_budget, options_.max_memory_bytes);
   MemoryBudgetScope mem_scope(bounded.memory);
-  return failpoint::GuardExceptions("pipeline", [&]() -> Result<PipelineResult> {
+  SessionTraceScope trace_scope("session.synthesize_and_migrate", &bounded);
+  auto pipeline_result = failpoint::GuardExceptions("pipeline", [&]() -> Result<PipelineResult> {
     PipelineResult out;
     DYNAMITE_RETURN_NOT_OK(
         CheckAgainstSchema(example.input, source_, "example input vs source schema"));
@@ -206,6 +251,8 @@ Result<PipelineResult> Session::SynthesizeAndMigrate(const Example& example,
     out.migrated = std::move(migrated).ValueOrDie();
     return out;
   });
+  RecordMemoryHighWater(bounded);
+  return pipeline_result;
 }
 
 }  // namespace dynamite

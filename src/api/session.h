@@ -46,7 +46,9 @@
 #include "schema/schema.h"
 #include "synth/interactive.h"
 #include "synth/synthesizer.h"
+#include "util/metrics.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -156,6 +158,21 @@ class Session {
 
   /// Cumulative statistics of the shared migration engine.
   DatalogEngine::Stats engine_stats() const { return migrator_->engine_stats(); }
+
+  /// Snapshot of the process-wide metrics registry (util/metrics.h):
+  /// counters like "engine.plan_refreshes" / "synth.prefix_memo_hits" /
+  /// "ingest.fallbacks", plus gauges and histograms. Process-wide — spans
+  /// every Session and engine in the process, cumulative since start; the
+  /// per-object stats() structs remain the per-run source of truth.
+  metrics::MetricsSnapshot Metrics() const { return metrics::Snapshot(); }
+
+  /// Dumps every trace span recorded since arming (trace::Arm() or
+  /// DYNAMITE_TRACE=path) as Chrome trace-event JSON — open in Perfetto.
+  /// Call between pipeline calls, not concurrently with one (see
+  /// util/trace.h for the concurrency contract).
+  Status DumpTrace(const std::string& path) const {
+    return trace::WriteChromeTrace(path);
+  }
 
  private:
   Session(Schema source, Schema target, SessionOptions options);

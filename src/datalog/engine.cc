@@ -11,8 +11,10 @@
 #include "datalog/index.h"
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/metrics.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -419,8 +421,11 @@ class Evaluator {
     for (const auto& [name, attrs] : idb_sigs) delta[name] = {0, 0};
 
     // Pass 0: every rule over full views.
-    for (const auto& rule : rules) {
-      DYNAMITE_RETURN_NOT_OK(EvalPlan(*rule, rule->full, delta, edb, out));
+    {
+      DYNAMITE_TRACE_SPAN("engine.pass0");
+      for (const auto& rule : rules) {
+        DYNAMITE_RETURN_NOT_OK(EvalPlan(*rule, rule->full, delta, edb, out));
+      }
     }
     bool any_delta = false;
     for (auto& [name, range] : delta) {
@@ -472,6 +477,7 @@ class Evaluator {
         return Status::EvalBudget("fixpoint iteration limit exceeded");
       }
       DYNAMITE_FAILPOINT("engine.fixpoint.round");
+      DYNAMITE_TRACE_SPAN("engine.fixpoint.round");
       for (const auto& rule : rules) {
         if (!rule->has_idb_body) continue;
         for (size_t k = 0; k < rule->delta_plans.size(); ++k) {
@@ -486,6 +492,11 @@ class Evaluator {
         range = {range.second, size};
         any_delta = any_delta || range.second > range.first;
       }
+    }
+    if (iterations > 0) {
+      static metrics::Histogram& rounds_hist =
+          metrics::GetHistogram("engine.fixpoint.rounds_per_eval");
+      rounds_hist.Observe(iterations);
     }
     return Status::OK();
   }
@@ -1026,6 +1037,7 @@ class Evaluator {
                   const std::map<std::string, std::pair<size_t, size_t>>& delta,
                   const EdbView& edb, FactDatabase* out) {
     DYNAMITE_FAILPOINT("engine.plan.entry");
+    DYNAMITE_TRACE_SPAN("engine.plan");
     // Resolve views and refresh indexes up front: no index is ever built
     // inside the match loop, and IDB indexes only extend over the suffix
     // added since the previous round.
@@ -1176,11 +1188,13 @@ class Evaluator {
       // this plan once on the exact sequential path; a failure there is
       // the real answer and surfaces normally.
       ++*parallel_fallbacks_;
+      DYNAMITE_METRIC_INC("engine.parallel_fallbacks");
       buffers.clear();
       return EvalPlanSequential(rule, plan, views, head_rels);
     }
 
     DYNAMITE_FAILPOINT("engine.merge.alloc");
+    DYNAMITE_TRACE_SPAN("engine.merge");
     // Single-threaded merge, ascending chunk order (= sequential emission
     // order). Rows were hashed and locally deduped by the workers; the
     // merge only probes the head relations' row tables and appends. It
@@ -1332,6 +1346,8 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
     const std::map<std::string, std::vector<std::string>>& idb_signatures,
     const RunContext* ctx, MemoryBudget* budget) const {
   DYNAMITE_FAILPOINT("engine.compile");
+  DYNAMITE_TRACE_SPAN("engine.eval");
+  trace::Span compile_span("engine.compile");
   const EdbView view{&edb, extra_edb};
   std::set<std::string> idb;
   std::string idb_key;
@@ -1391,6 +1407,7 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
                                     CompileRule(rule, idb, view, options_.reorder_joins));
           it->second = std::make_shared<CompiledRule>(std::move(cr));
           ++caches_->plan_refreshes;
+          DYNAMITE_METRIC_INC("engine.plan_refreshes");
         }
         rules.push_back(it->second);
         continue;
@@ -1426,10 +1443,12 @@ Result<FactDatabase> DatalogEngine::EvalImpl(
       auto it = caches_->rules.find(RuleCacheKey(rule, idb_key));
       if (it != caches_->rules.end()) it->second = shared;
       ++caches_->plan_refreshes;
+      DYNAMITE_METRIC_INC("engine.plan_refreshes");
       return shared;
     };
   }
 
+  compile_span.End();
   FactDatabase out;
   caches_->edb_indexes.MaybeEvict();  // safe here: no plan holds index pointers
   std::function<ThreadPool*()> pool_provider;

@@ -8,7 +8,9 @@
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -218,6 +220,7 @@ Status EmitSharded(const RecordForest& forest, const TypeInfoMap& types,
     for (;;) {
       size_t c = next_count.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      DYNAMITE_TRACE_SPAN("ingest.count");
       uint64_t n = 0;
       for (size_t r = chunk_lo(c); r < chunk_lo(c + 1); ++r) {
         n += CountEmitted(forest.roots[r], types);
@@ -254,6 +257,7 @@ Status EmitSharded(const RecordForest& forest, const TypeInfoMap& types,
     for (;;) {
       size_t c = next_emit.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      DYNAMITE_TRACE_SPAN("ingest.shard");
       Status injected = DYNAMITE_FAILPOINT_STATUS("ingest.shard");
       if (!injected.ok()) {
         shard_fault.store(true, std::memory_order_relaxed);
@@ -298,6 +302,7 @@ Status EmitSharded(const RecordForest& forest, const TypeInfoMap& types,
   // revisits one relation at a time rather than interleaving types the way
   // the depth-first walk does; per-relation order is what dedup and row
   // order depend on, and that is preserved.)
+  DYNAMITE_TRACE_SPAN("ingest.merge");
   for (const auto& [rec, info] : types) {
     (void)rec;
     for (size_t c = 0; c < num_chunks; ++c) {
@@ -311,6 +316,7 @@ Status EmitSharded(const RecordForest& forest, const TypeInfoMap& types,
   }
   *next_id += total;
   if (stats != nullptr) stats->parallel_chunks += num_chunks;
+  DYNAMITE_METRIC_ADD("ingest.parallel_chunks", num_chunks);
   return Status::OK();
 }
 
@@ -324,6 +330,7 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
 Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
                              uint64_t* next_id, const RunContext* ctx,
                              const IngestOptions& options) {
+  DYNAMITE_TRACE_SPAN("ingest.to_facts");
   DYNAMITE_RETURN_NOT_OK(ValidateForest(forest, schema));
   FactDatabase db;
   DYNAMITE_ASSIGN_OR_RETURN(TypeInfoMap types, DeclareRelations(schema, &db));
@@ -339,6 +346,7 @@ Result<FactDatabase> ToFacts(const RecordForest& forest, const Schema& schema,
       // state), so the sequential rerun below starts clean and produces the
       // identical database.
       if (options.stats != nullptr) ++options.stats->ingest_fallbacks;
+      DYNAMITE_METRIC_INC("ingest.fallbacks");
     }
   }
 
@@ -420,6 +428,11 @@ struct Rebuilder {
 
 Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
                                  const RunContext* ctx, IngestStats* stats) {
+  DYNAMITE_TRACE_SPAN("ingest.build_forest");
+  // The per-lookup stats increments in Rebuilder are too hot to mirror one
+  // by one; the registry gets the run's delta in bulk on success.
+  const size_t builds_before = stats != nullptr ? stats->child_index_builds : 0;
+  const size_t lookups_before = stats != nullptr ? stats->child_index_lookups : 0;
   Rebuilder rb{db, schema, stats, {}};
   RecordForest forest;
   size_t ticks = 0;
@@ -440,6 +453,12 @@ Result<RecordForest> BuildForest(const FactDatabase& db, const Schema& schema,
       }
       forest.roots.push_back(rb.Build(rec, rel->row(r), 0));
     }
+  }
+  if (stats != nullptr) {
+    DYNAMITE_METRIC_ADD("ingest.child_index_builds",
+                        stats->child_index_builds - builds_before);
+    DYNAMITE_METRIC_ADD("ingest.child_index_lookups",
+                        stats->child_index_lookups - lookups_before);
   }
   return forest;
 }

@@ -2,6 +2,7 @@
 
 #include "util/failpoint.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -29,6 +30,7 @@ Result<RecordForest> Migrator::MigrateImpl(const Program& program,
                                            const RecordForest& source,
                                            const RunContext& ctx,
                                            MigrationStats* stats) const {
+  DYNAMITE_TRACE_SPAN("migrate.run");
   MigrationStats local;
   local.source_records = source.TotalRecords();
 
@@ -62,27 +64,36 @@ Result<RecordForest> Migrator::MigrateImpl(const Program& program,
       return ingest_pool_.get();
     };
   }
+  // Stage spans closed explicitly (Span::End) rather than scoped: the
+  // stage results must stay live for the rest of the function. An early
+  // error return closes the open span via its destructor.
+  trace::Span facts_span("migrate.facts");
   DYNAMITE_ASSIGN_OR_RETURN(
       FactDatabase edb, ToFacts(source, source_schema_, &next_id, &ctx, ingest_options));
   DYNAMITE_RETURN_NOT_OK(ctx.Check("facts conversion"));
   local.source_facts = edb.TotalFacts();
   local.to_facts_seconds = timer.ElapsedSeconds();
+  facts_span.End();
   report("facts");
 
   timer.Reset();
+  trace::Span eval_span("migrate.eval");
   DYNAMITE_ASSIGN_OR_RETURN(
       FactDatabase idb, engine_.Eval(program, edb, FactSignatures(target_schema_), &ctx));
   DYNAMITE_RETURN_NOT_OK(ctx.Check("fixpoint evaluation"));
   local.target_facts = idb.TotalFacts();
   local.eval_seconds = timer.ElapsedSeconds();
+  eval_span.End();
   report("eval");
 
   timer.Reset();
+  trace::Span build_span("migrate.build");
   DYNAMITE_ASSIGN_OR_RETURN(RecordForest target,
                             BuildForest(idb, target_schema_, &ctx, &local.ingest));
   DYNAMITE_RETURN_NOT_OK(ctx.Check("forest reconstruction"));
   local.target_records = target.TotalRecords();
   local.build_seconds = timer.ElapsedSeconds();
+  build_span.End();
   report("build");
 
   if (stats != nullptr) *stats = local;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -243,6 +245,8 @@ Status FdSolver::AddConstraint(const FdExpr& e) {
 }
 
 Result<bool> FdSolver::Solve() {
+  DYNAMITE_TRACE_SPAN("solver.solve");
+  DYNAMITE_METRIC_INC("solver.solves");
   sat::SatSolver::Outcome outcome = sat_.Solve();
   switch (outcome) {
     case sat::SatSolver::Outcome::kSat:

@@ -20,8 +20,10 @@
 #include "util/debug_log.h"
 #include "util/failpoint.h"
 #include "util/mem_budget.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -210,6 +212,7 @@ class PortfolioRuntime {
   void Degrade() {
     degraded_ = true;
     ++stats_.parallel_fallbacks;
+    DYNAMITE_METRIC_INC("synth.parallel_fallbacks");
   }
   bool degraded() const { return degraded_; }
 
@@ -394,10 +397,15 @@ class RuleSynthesizer {
         it = memo_.find(key);
       }
       if (it != memo_.end()) {
+        DYNAMITE_TRACE_SPAN("synth.replay");
         CandidateOutcome outcome = std::move(it->second);
         memo_.erase(it);
         ++portfolio_->stats().speculative_hits;
-        if (outcome.via_prefix) ++portfolio_->stats().prefix_memo_hits;
+        DYNAMITE_METRIC_INC("synth.speculative_hits");
+        if (outcome.via_prefix) {
+          ++portfolio_->stats().prefix_memo_hits;
+          DYNAMITE_METRIC_INC("synth.prefix_memo_hits");
+        }
         if (!outcome.status.ok()) return outcome.status;
         return std::move(outcome.idb);
       }
@@ -422,6 +430,7 @@ class RuleSynthesizer {
   /// the scout did not predict (analysis blocking diverged, or a
   /// non-memoizable outcome was re-evaluated inline).
   void SpeculateBatch(const RunContext& ctx, const SketchModel& seed) {
+    DYNAMITE_TRACE_SPAN("synth.candidate_batch");
     if (memo_.size() > kMemoMaxEntries) memo_.clear();
     const size_t target = portfolio_->num_workers() * 2;
 
@@ -442,6 +451,7 @@ class RuleSynthesizer {
     // (the guaranteed consumer of this batch). The scan cap bounds wasted
     // scouting when the memo already holds most of the frontier.
     std::vector<SpeculatedCandidate> cands;
+    trace::Span scout_span("synth.scout");
     for (size_t scanned = 0; scanned < target * 4; ++scanned) {
       SketchModel model = scout_next_;
       std::string key = ModelKey(model);
@@ -470,6 +480,7 @@ class RuleSynthesizer {
       scout_next_ = ExtractModel(encoding_, scout_);
       if (cands.size() >= target || ctx.Interrupted()) break;
     }
+    scout_span.End();
     if (cands.empty()) return;
 
     std::vector<PrefixGroup> groups = GroupByPrefix(&cands);
@@ -483,6 +494,7 @@ class RuleSynthesizer {
           size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
           if (g >= groups.size() || ctx.Interrupted()) break;
           DYNAMITE_FAILPOINT_THROW("synth.worker");
+          DYNAMITE_TRACE_SPAN("synth.worker.prefix");
           auto derived =
               portfolio_->engine(w).Eval(groups[g].prefix, edb_, groups[g].sigs, &ctx);
           if (derived.ok()) {
@@ -522,6 +534,7 @@ class RuleSynthesizer {
           break;
         }
         DYNAMITE_FAILPOINT_THROW("synth.worker");
+        DYNAMITE_TRACE_SPAN("synth.worker.candidate");
         EvalSpeculative(w, cands[i], groups, ctx, &slots[i], &success_floor, i);
       }
     });
@@ -701,6 +714,7 @@ Result<Setup> Prepare(const Schema& source, const Schema& target, const Example&
                       ProgressTracker* progress) {
   Setup setup;
   DYNAMITE_FAILPOINT("synth.prepare");
+  DYNAMITE_TRACE_SPAN("synth.prepare");
   progress->Report(Phase::kInferMapping, "", 0);
   DYNAMITE_RETURN_NOT_OK(ctx.Check("attribute-mapping inference"));
   DYNAMITE_ASSIGN_OR_RETURN(AttributeMapping psi, InferAttrMapping(source, target, example));
@@ -774,6 +788,7 @@ Result<SynthesisResult> Synthesizer::SynthesizeImpl(const Example& example,
   // callers get a fresh per-call window, as before).
   RunContext ctx =
       caller_ctx.WithDeadlineCap(Deadline::AfterOrInfinite(options_.timeout_seconds));
+  DYNAMITE_TRACE_SPAN("synth.synthesize");
   Timer total;
   ProgressTracker progress;
   progress.ctx = &ctx;
@@ -790,6 +805,7 @@ Result<SynthesisResult> Synthesizer::SynthesizeImpl(const Example& example,
   result.psi = setup.psi;
   for (RuleSketch& sketch : setup.sketches) {
     Timer rule_timer;
+    DYNAMITE_TRACE_SPAN("synth.rule");
     RuleSynthesizer rs(source_, target_, std::move(sketch), setup.edb, example, options_,
                        portfolio.get());
     DYNAMITE_RETURN_NOT_OK(rs.Init());

@@ -1,0 +1,133 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+#include "util/thread_annotations.h"
+
+namespace dynamite {
+namespace metrics {
+namespace {
+
+// One registry for the process. Entries are heap-allocated and never freed
+// (leak-on-exit, like StringPool::Global), so references handed out by
+// GetCounter & co. survive static teardown in any order.
+struct Registry {
+  Mutex mu;
+  // std::map keeps Snapshot() output sorted without a per-call sort of the
+  // (small) metric population.
+  std::map<std::string, Counter*> counters DYNAMITE_GUARDED_BY(mu);
+  std::map<std::string, Gauge*> gauges DYNAMITE_GUARDED_BY(mu);
+  std::map<std::string, Histogram*> histograms DYNAMITE_GUARDED_BY(mu);
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+template <typename T>
+T& LookupOrCreate(std::map<std::string, T*>& kind_map,
+                  const std::string& name) {
+  auto it = kind_map.find(name);
+  if (it != kind_map.end()) return *it->second;
+  kind_map.emplace(name, new T());
+  return *kind_map.at(name);
+}
+
+}  // namespace
+
+namespace internal {
+
+unsigned ThreadStripe() {
+  static std::atomic<unsigned> next_stripe{0};
+  thread_local unsigned stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace internal
+
+Counter& GetCounter(const std::string& name) {
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  DYNAMITE_CHECK(reg.gauges.find(name) == reg.gauges.end() &&
+                     reg.histograms.find(name) == reg.histograms.end(),
+                 "metric registered under a different kind");
+  return LookupOrCreate(reg.counters, name);
+}
+
+Gauge& GetGauge(const std::string& name) {
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  DYNAMITE_CHECK(reg.counters.find(name) == reg.counters.end() &&
+                     reg.histograms.find(name) == reg.histograms.end(),
+                 "metric registered under a different kind");
+  return LookupOrCreate(reg.gauges, name);
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  Registry& reg = GlobalRegistry();
+  MutexLock lock(reg.mu);
+  DYNAMITE_CHECK(reg.counters.find(name) == reg.counters.end() &&
+                     reg.gauges.find(name) == reg.gauges.end(),
+                 "metric registered under a different kind");
+  return LookupOrCreate(reg.histograms, name);
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot Snapshot() {
+  Registry& reg = GlobalRegistry();
+  MetricsSnapshot snap;
+  MutexLock lock(reg.mu);
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& [name, counter] : reg.counters) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(reg.gauges.size());
+  for (const auto& [name, gauge] : reg.gauges) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(reg.histograms.size());
+  for (const auto& [name, histogram] : reg.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.sum = histogram->sum();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t n = histogram->bucket(i);
+      if (n == 0) continue;
+      h.count += n;
+      h.buckets.emplace_back(i, n);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace metrics
+}  // namespace dynamite

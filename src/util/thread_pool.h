@@ -38,6 +38,7 @@
 #include "util/failpoint.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/trace.h"
 
 namespace dynamite {
 
@@ -82,7 +83,14 @@ class ThreadPool {
       first_failure_ = Status::OK();
       failure_count_ = 0;
     }
-    const std::function<void(size_t)> wrapped = [this, &fn](size_t w) {
+    // Workers inherit the caller's ambient trace id, so pool-side spans
+    // dump under the run that issued this Run() — and the sequential retry
+    // after a fallback (same calling thread, same scope) keeps the same id.
+    const uint64_t trace_id = trace::CurrentTraceId();
+    const std::function<void(size_t)> wrapped = [this, &fn,
+                                                 trace_id](size_t w) {
+      trace::TraceIdScope trace_scope(trace_id);
+      DYNAMITE_TRACE_SPAN("pool.run");
       Invoke(fn, w);
     };
     if (threads_.empty()) {
@@ -137,6 +145,7 @@ class ThreadPool {
   }
 
   void WorkerLoop(size_t worker_index) {
+    trace::SetThreadName("pool-worker-" + std::to_string(worker_index));
     uint64_t seen = 0;
     for (;;) {
       const std::function<void(size_t)>* job = nullptr;

@@ -7,6 +7,7 @@
 #include "util/failpoint.h"
 #include "util/hash.h"
 #include "util/mem_budget.h"
+#include "util/metrics.h"
 
 namespace dynamite {
 
@@ -48,6 +49,10 @@ Result<uint32_t> StringPool::TryIntern(std::string_view s) {
   // which is also what makes the overflow path testable: arm this site
   // instead of interning 2^32 distinct strings.
   DYNAMITE_FAILPOINT("string_pool.intern");
+  // Novel strings only (the already-interned fast path above stays
+  // metric-free); the striped counter keeps concurrent shards off one line.
+  DYNAMITE_METRIC_INC("string_pool.interned_strings");
+  DYNAMITE_METRIC_ADD("string_pool.interned_bytes", s.size());
   // A novel string costs its characters plus a map entry; charged before the
   // append so an exhausted budget is observed at the next poll even though
   // this insert itself still completes.

@@ -22,6 +22,14 @@ Scans src/ (C++ sources and headers) for project-rule violations:
   bare-suppression  every DYNAMITE_NO_THREAD_SAFETY_ANALYSIS must carry a
                     justification comment on the same line or the line above
                     (the suppression policy; see src/util/README.md).
+  raw-chrono        no std::chrono outside util/{timer,deadline,trace} — use
+                    Timer / Deadline for measurement and trace spans for
+                    attribution; scattered clocks fragment the time axis the
+                    trace layer depends on.
+  adhoc-counter     no ad-hoc std::atomic tally members (…hits_, …misses_,
+                    …fallbacks_, …) outside util/{failpoint,metrics,trace} —
+                    register a metrics::Counter so the tally shows up in
+                    Session::Metrics() instead of a private field.
 
 Findings print as `path:line: [rule] message` (clickable in editors and CI
 logs). Exit status 1 if anything is found, 0 on a clean tree.
@@ -72,6 +80,33 @@ RULES = [
         "use dynamite::Mutex / MutexLock / SharedMutex / CondVar "
         "(util/thread_annotations.h)",
         {"src/util/thread_annotations.h"},
+    ),
+    (
+        "raw-chrono",
+        re.compile(r"std::chrono(?![A-Za-z0-9_])"),
+        "raw std::chrono fragments the time axis; use Timer (util/timer.h), "
+        "Deadline (util/deadline.h), or a trace span (util/trace.h)",
+        {
+            "src/util/timer.h",
+            "src/util/deadline.h",
+            "src/util/trace.h",
+            "src/util/trace.cc",
+        },
+    ),
+    (
+        "adhoc-counter",
+        re.compile(
+            r"std::atomic<[^>]*>\s+\w*(?:hits|misses|fallbacks|refreshes|"
+            r"lookups|builds|retries|drops)_?\s*[{;=]"
+        ),
+        "ad-hoc atomic tallies are invisible to Session::Metrics(); use "
+        "metrics::GetCounter / DYNAMITE_METRIC_INC (util/metrics.h)",
+        {
+            "src/util/failpoint.h",
+            "src/util/metrics.h",
+            "src/util/trace.h",
+            "src/util/trace.cc",
+        },
     ),
 ]
 
@@ -231,6 +266,22 @@ SELF_TEST_CASES = [
         "void Get() DYNAMITE_NO_THREAD_SAFETY_ANALYSIS {  // reads are acquire-published",
         [],
     ),
+    ("std::chrono flagged", "src/a/x.cc",
+     "auto t = std::chrono::steady_clock::now();", ["raw-chrono"]),
+    ("std::chrono allowed in timer.h", "src/util/timer.h",
+     "std::chrono::steady_clock::time_point start_;", []),
+    ("std::chrono allowed in trace.cc", "src/util/trace.cc",
+     "return std::chrono::steady_clock::now().time_since_epoch().count();", []),
+    ("std::chrono in comment allowed", "src/a/x.cc",
+     "// std::chrono is banned here", []),
+    ("adhoc counter flagged", "src/a/x.cc",
+     "std::atomic<uint64_t> cache_hits_{0};", ["adhoc-counter"]),
+    ("adhoc counter assignment flagged", "src/a/x.cc",
+     "std::atomic<size_t> fallbacks = 0;", ["adhoc-counter"]),
+    ("adhoc counter allowed in failpoint.h", "src/util/failpoint.h",
+     "std::atomic<uint64_t> hits_{0};", []),
+    ("non-tally atomic allowed", "src/a/x.cc",
+     "std::atomic<uint64_t> size_{0};", []),
     (
         "two findings on one line",
         "src/a/x.cc",
